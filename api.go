@@ -1,0 +1,182 @@
+package stormtune
+
+import (
+	"fmt"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+// Re-exported model types. Aliases keep the internal packages as the
+// single source of truth while giving library users one import path.
+type (
+	// Topology is a Storm/Trident operator DAG.
+	Topology = topo.Topology
+	// Node is one operator (spout or bolt).
+	Node = topo.Node
+	// Edge connects operators with a grouping strategy.
+	Edge = topo.Edge
+	// Condition is one cell of the synthetic 2×2 grid (time imbalance ×
+	// contention).
+	Condition = topo.Condition
+	// ClusterSpec describes the simulated hardware.
+	ClusterSpec = cluster.Spec
+	// Config carries the Table I configuration parameters.
+	Config = storm.Config
+	// Result is one measurement run.
+	Result = storm.Result
+	// Evaluator is the black-box objective (simulated cluster).
+	Evaluator = storm.Evaluator
+	// Metric selects the throughput definition.
+	Metric = storm.Metric
+	// Strategy is a configuration optimizer (pla, ipla, bo, ibo).
+	Strategy = core.Strategy
+	// Protocol is the paper's experimental procedure.
+	Protocol = core.Protocol
+	// Outcome aggregates a protocol execution.
+	Outcome = core.Outcome
+	// TuneResult is a single optimization pass.
+	TuneResult = core.TuneResult
+	// BOOptions configure the Bayesian strategies.
+	BOOptions = core.BOOptions
+	// ParamSet selects which parameters the Bayesian optimizer
+	// searches.
+	ParamSet = core.ParamSet
+)
+
+// Node kinds and groupings.
+const (
+	Spout   = topo.Spout
+	Bolt    = topo.Bolt
+	Shuffle = topo.Shuffle
+	Fields  = topo.Fields
+)
+
+// Throughput metrics.
+const (
+	// SinkTuples counts tuples/s arriving at sinks (the synthetic
+	// experiments' axis).
+	SinkTuples = storm.SinkTuples
+	// SourceTuples counts ingested tuples/s (the Sundog axis).
+	SourceTuples = storm.SourceTuples
+)
+
+// Parameter sets of §V-D.
+const (
+	Hints         = core.Hints
+	HintsBatch    = core.HintsBatch
+	BatchCC       = core.BatchCC
+	InformedHints = core.InformedHints
+)
+
+// NewTopology validates and constructs a topology.
+func NewTopology(name string, nodes []Node, edges []Edge) (*Topology, error) {
+	return topo.New(name, nodes, edges)
+}
+
+// Sundog builds the real-world entity-ranking topology of Figure 2.
+func Sundog() *Topology { return topo.Sundog() }
+
+// BuildSynthetic generates one of the paper's synthetic topologies
+// ("small", "medium", "large") under a condition.
+func BuildSynthetic(size string, cond Condition, seed int64) *Topology {
+	return topo.BuildSynthetic(size, cond, seed)
+}
+
+// PaperCluster returns the evaluation cluster of §IV-C (80 machines,
+// 320 cores).
+func PaperCluster() ClusterSpec { return cluster.Paper() }
+
+// SmallCluster returns a laptop-scale cluster for experimentation.
+func SmallCluster() ClusterSpec { return cluster.Small() }
+
+// NewFluidSim builds the fast steady-state evaluator.
+func NewFluidSim(t *Topology, spec ClusterSpec, metric Metric, noiseSeed int64) Evaluator {
+	return storm.NewFluidSim(t, spec, metric, noiseSeed)
+}
+
+// NewBatchDES builds the discrete-event batch-pipeline evaluator.
+func NewBatchDES(t *Topology, spec ClusterSpec, metric Metric) Evaluator {
+	return storm.NewBatchDES(t, spec, metric)
+}
+
+// Averaged wraps an evaluator so every configuration is measured k
+// times and the mean reported — the noise-reduction improvement §VI of
+// the paper proposes as future work.
+func Averaged(ev Evaluator, k int) Evaluator { return storm.Averaged(ev, k) }
+
+// DefaultConfig returns the manually tuned deployment configuration of
+// §V-D with the given uniform parallelism hint.
+func DefaultConfig(t *Topology, hint int) Config { return storm.DefaultConfig(t, hint) }
+
+// DefaultSyntheticConfig returns the fixed batching configuration used
+// by the synthetic parallelism experiments.
+func DefaultSyntheticConfig(t *Topology, hint int) Config {
+	return storm.DefaultSyntheticConfig(t, hint)
+}
+
+// NewPLA builds the parallel-linear-ascent baseline.
+func NewPLA(t *Topology, template Config) Strategy { return core.NewPLA(t, template) }
+
+// NewIPLA builds the informed linear baseline.
+func NewIPLA(t *Topology, template Config) Strategy { return core.NewIPLA(t, template) }
+
+// NewBO builds a Bayesian-optimization strategy.
+func NewBO(t *Topology, spec ClusterSpec, template Config, opts BOOptions) Strategy {
+	return core.NewBO(t, spec, template, opts)
+}
+
+// Tune runs one optimization pass.
+func Tune(ev Evaluator, strat Strategy, maxSteps, stopAfterZeros int) TuneResult {
+	return core.Tune(ev, strat, maxSteps, stopAfterZeros, 0)
+}
+
+// DefaultProtocol returns the paper's experimental protocol (60 steps,
+// 2 passes, 30 best-config re-runs).
+func DefaultProtocol() Protocol { return core.DefaultProtocol() }
+
+// RunProtocol executes the full protocol for a strategy family.
+func RunProtocol(ev Evaluator, factory func(pass int) Strategy, p Protocol) Outcome {
+	return core.RunProtocol(ev, core.StrategyFactory(factory), p)
+}
+
+// AutoTuneOptions configure the high-level convenience entry point.
+type AutoTuneOptions struct {
+	// Steps is the evaluation budget (default 60, as in the paper).
+	Steps int
+	// Set selects the searched parameters (default Hints).
+	Set ParamSet
+	// Template supplies the non-searched parameters; zero value uses
+	// the paper's §V-D deployment defaults with hint 1.
+	Template *Config
+	// Cluster defaults to the paper's 80-machine cluster.
+	Cluster *ClusterSpec
+	// Seed drives the optimizer (default 1).
+	Seed int64
+}
+
+// AutoTune searches for a good configuration of t against ev with
+// Bayesian optimization and returns the best configuration found along
+// with its measured result.
+func AutoTune(t *Topology, ev Evaluator, opts AutoTuneOptions) (Config, Result, error) {
+	if opts.Steps <= 0 {
+		opts.Steps = 60
+	}
+	spec := cluster.Paper()
+	if opts.Cluster != nil {
+		spec = *opts.Cluster
+	}
+	template := storm.DefaultConfig(t, 1)
+	if opts.Template != nil {
+		template = opts.Template.Clone()
+	}
+	strat := core.NewBO(t, spec, template, core.BOOptions{Set: opts.Set, Seed: opts.Seed})
+	tr := core.Tune(ev, strat, opts.Steps, 0, 0)
+	best, ok := tr.Best()
+	if !ok {
+		return Config{}, Result{}, fmt.Errorf("stormtune: no successful run in %d steps", opts.Steps)
+	}
+	return best.Config, best.Result, nil
+}

@@ -1,0 +1,70 @@
+package stormtune
+
+import (
+	"testing"
+)
+
+func TestPublicQuickstartPath(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	ev := NewFluidSim(top, PaperCluster(), SinkTuples, 1)
+	cfg, res, err := AutoTune(top, ev, AutoTuneOptions{Steps: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if len(cfg.Hints) != top.N() {
+		t.Fatalf("config has %d hints for %d nodes", len(cfg.Hints), top.N())
+	}
+}
+
+func TestPublicCustomTopology(t *testing.T) {
+	top, err := NewTopology("mini",
+		[]Node{
+			{Name: "in", Kind: Spout, TimeUnits: 5, Selectivity: 1, TupleBytes: 64},
+			{Name: "work", Kind: Bolt, TimeUnits: 10, Selectivity: 1, TupleBytes: 64},
+		},
+		[]Edge{{From: 0, To: 1, Grouping: Shuffle}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewFluidSim(top, SmallCluster(), SinkTuples, 1)
+	tr := Tune(ev, NewPLA(top, DefaultSyntheticConfig(top, 1)), 10, 3)
+	if best, ok := tr.Best(); !ok || best.Result.Throughput <= 0 {
+		t.Fatalf("pla found nothing: %+v", tr)
+	}
+}
+
+func TestPublicSundogAndDES(t *testing.T) {
+	sd := Sundog()
+	des := NewBatchDES(sd, SmallCluster(), SourceTuples)
+	r := des.Run(DefaultConfig(sd, 2), 0)
+	if r.Failed || r.Throughput <= 0 {
+		t.Fatalf("DES sundog run failed: %+v", r)
+	}
+}
+
+func TestPublicProtocol(t *testing.T) {
+	top := BuildSynthetic("small", Condition{TimeImbalance: 1}, 1)
+	ev := NewFluidSim(top, PaperCluster(), SinkTuples, 1)
+	p := DefaultProtocol()
+	p.Steps, p.Passes, p.BestReruns = 5, 1, 3
+	out := RunProtocol(ev, func(int) Strategy { return NewIPLA(top, DefaultSyntheticConfig(top, 1)) }, p)
+	if out.Summary.N != 3 {
+		t.Fatalf("summary N = %d", out.Summary.N)
+	}
+}
+
+func TestAutoTuneErrorsWithoutSuccess(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	// A one-machine cluster with one slot cannot place the topology at
+	// all: every run fails.
+	tiny := ClusterSpec{Machines: 1, CoresPerMachine: 1, CoreMillisPerSec: 1000,
+		NICBytesPerSec: 1e6, TaskSlotsPerMachine: 1, ThrashTasksPerCore: 1}
+	ev := NewFluidSim(top, tiny, SinkTuples, 1)
+	if _, _, err := AutoTune(top, ev, AutoTuneOptions{Steps: 3, Cluster: &tiny}); err == nil {
+		t.Fatal("expected error when every run fails")
+	}
+}

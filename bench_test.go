@@ -1,0 +1,159 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each BenchmarkTableX / BenchmarkFigX runs the
+// corresponding experiment and prints the paper-style report once (so
+// `go test -bench=.` output contains the regenerated rows).
+//
+// By default the experiments run at a reduced scale that preserves the
+// paper's qualitative shapes; set STORMTUNE_FULL=1 for the full §V
+// protocol (60/180 steps, 2 passes, 30 re-runs, all three sizes).
+//
+// The micro-benchmarks at the bottom measure the library's hot paths:
+// one simulated measurement run (the paper burned ~2 cluster-minutes
+// per sample; the fluid evaluator answers in microseconds) and one
+// Bayesian-optimizer decision step.
+package stormtune_test
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"stormtune"
+	"stormtune/internal/bo"
+	"stormtune/internal/experiments"
+	"stormtune/internal/gp"
+)
+
+var printed sync.Map
+
+// benchExperiment runs one experiment id per iteration, printing its
+// report the first time.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	sc := experiments.ScaleFromEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := experiments.Run(id, sc, &buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, done := printed.LoadOrStore(id, true); !done {
+			fmt.Fprint(os.Stdout, buf.String())
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates Table II (synthetic topology statistics).
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table III (operator counts in literature).
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "table3") }
+
+// BenchmarkFig3 regenerates Figure 3 (network load per worker).
+func BenchmarkFig3(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4 (throughput across conditions,
+// sizes and strategies). The synthetic grid is computed once and cached
+// for Figures 5-7, exactly as the paper derives those figures from the
+// same experiment series.
+func BenchmarkFig4(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5 regenerates Figure 5 (convergence speed).
+func BenchmarkFig5(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6 regenerates Figure 6 (LOESS-smoothed optimization traces).
+func BenchmarkFig6(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (optimizer decision time vs size).
+func BenchmarkFig7(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkFig8a regenerates Figure 8a (Sundog throughput by parameter
+// set).
+func BenchmarkFig8a(b *testing.B) { benchExperiment(b, "fig8a") }
+
+// BenchmarkFig8b regenerates Figure 8b (Sundog convergence traces).
+func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
+
+// BenchmarkAblation runs the optimizer-design ablation (acquisition
+// function, hyperparameter marginalization, candidate seeding).
+func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkFluidSolve measures one simulated measurement run of the
+// medium topology — the objective-function evaluation inside every
+// optimization step.
+func BenchmarkFluidSolve(b *testing.B) {
+	t := stormtune.BuildSynthetic("medium", stormtune.Condition{}, 1)
+	ev := stormtune.NewFluidSim(t, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
+	cfg := stormtune.DefaultSyntheticConfig(t, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ev.Run(cfg, i)
+		if r.Failed {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkBatchDES measures one discrete-event simulation of the small
+// topology's batch pipeline.
+func BenchmarkBatchDES(b *testing.B) {
+	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+	ev := stormtune.NewBatchDES(t, stormtune.SmallCluster(), stormtune.SinkTuples)
+	cfg := stormtune.DefaultSyntheticConfig(t, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := ev.Run(cfg, i)
+		if r.Failed {
+			b.Fatal("run failed")
+		}
+	}
+}
+
+// BenchmarkGPFit measures fitting the Gaussian process on a 60-point
+// design in 11 dimensions (the small topology's search space after a
+// full optimization pass).
+func BenchmarkGPFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n, d = 60, 11
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, d)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := gp.New(gp.NewMatern52(d, 0.3), 1e-3)
+		if err := g.Fit(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBOSuggest measures one optimizer decision step with 30
+// observations — the per-step cost Figure 7 studies.
+func BenchmarkBOSuggest(b *testing.B) {
+	space := bo.MustSpace(
+		bo.Dim{Name: "x", Kind: bo.Float, Min: 0, Max: 1},
+		bo.Dim{Name: "y", Kind: bo.Float, Min: 0, Max: 1},
+		bo.Dim{Name: "n", Kind: bo.Int, Min: 1, Max: 64},
+	)
+	opt := bo.NewOptimizer(space, bo.Options{Seed: 1, Candidates: 300, HyperSamples: 2})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 30; i++ {
+		u := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		opt.Observe(u, -((u[0]-0.4)*(u[0]-0.4) + (u[1]-0.6)*(u[1]-0.6)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := opt.Suggest()
+		opt.Observe(u, -((u[0]-0.4)*(u[0]-0.4) + (u[1]-0.6)*(u[1]-0.6)))
+	}
+}

@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's tables and figures
+// against the simulated cluster.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-full] [-all] [id ...]
+//
+// Ids: table2, table3, fig3, fig4, fig5, fig6, fig7, fig8a, fig8b,
+// ablation. With -full the paper's protocol (60/180 steps, 2 passes,
+// 30 re-runs, all three sizes) runs; the default is a reduced scale
+// that preserves the qualitative shapes. Env knobs for -full:
+// STORMTUNE_BO180=0 drops the 180-step strategy, STORMTUNE_FAST_GRID=1
+// keeps the protocol but bounds the optimizer's candidate budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"stormtune/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	full := flag.Bool("full", false, "run the paper's full protocol instead of the quick scale")
+	all := flag.Bool("all", false, "run every experiment")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	sc := experiments.QuickScale()
+	if *full {
+		sc = experiments.FullScale()
+	}
+	ids := flag.Args()
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-full] [-all] [id ...]; -list shows ids")
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		if err := experiments.Run(id, sc, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+// Command stormtune tunes a topology's configuration on the simulated
+// cluster and prints the best configuration found.
+//
+// Usage:
+//
+//	stormtune [-topology small|medium|large|sundog] [-spec file.json]
+//	          [-strategy pla|ipla|bo|ibo] [-steps N]
+//	          [-params h|h-bs-bp|bs-bp-cc] [-tiim X] [-contention X]
+//	          [-samples K] [-seed N]
+//
+// -spec loads a user topology from a JSON file (see examples/customtopo
+// for the schema); -samples averages K measurements per configuration
+// (the §VI noise-reduction proposal). See examples/resume for pausing
+// and resuming an optimization run (the Spearmint feature the paper's
+// setup relied on).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"stormtune/internal/bo"
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+func main() {
+	topoName := flag.String("topology", "small", "topology: small, medium, large or sundog")
+	spec := flag.String("spec", "", "path to a JSON topology spec (overrides -topology)")
+	strategy := flag.String("strategy", "bo", "strategy: pla, ipla, bo or ibo")
+	steps := flag.Int("steps", 60, "evaluation budget")
+	params := flag.String("params", "h", "searched parameters for bo: h, h-bs-bp or bs-bp-cc")
+	tiim := flag.Float64("tiim", 0, "time imbalance for synthetic topologies")
+	cont := flag.Float64("contention", 0, "contentious fraction for synthetic topologies")
+	seed := flag.Int64("seed", 1, "random seed")
+	samples := flag.Int("samples", 1, "measurements to average per configuration (§VI future work)")
+	flag.Parse()
+
+	var t *topo.Topology
+	metric := storm.SinkTuples
+	switch {
+	case *spec != "":
+		var err error
+		t, err = topo.LoadJSONFile(*spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			os.Exit(1)
+		}
+	case *topoName == "sundog":
+		t = topo.Sundog()
+		metric = storm.SourceTuples
+	default:
+		t = topo.BuildSynthetic(*topoName, topo.Condition{TimeImbalance: *tiim, ContentiousFraction: *cont}, *seed)
+	}
+	clusterSpec := cluster.Paper()
+	var ev storm.Evaluator = storm.NewFluidSim(t, clusterSpec, metric, *seed)
+	if *samples > 1 {
+		ev = storm.Averaged(ev, *samples)
+	}
+
+	var template storm.Config
+	if *topoName == "sundog" {
+		template = storm.DefaultConfig(t, 11)
+	} else {
+		template = storm.DefaultSyntheticConfig(t, 1)
+	}
+
+	set := core.Hints
+	switch *params {
+	case "h":
+	case "h-bs-bp":
+		set = core.HintsBatch
+	case "bs-bp-cc":
+		set = core.BatchCC
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -params %q\n", *params)
+		os.Exit(2)
+	}
+
+	var strat core.Strategy
+	stopZeros := 0
+	switch *strategy {
+	case "pla":
+		strat = core.NewPLA(t, template)
+		stopZeros = 3
+	case "ipla":
+		strat = core.NewIPLA(t, template)
+		stopZeros = 3
+	case "bo":
+		strat = core.NewBO(t, clusterSpec, template, core.BOOptions{Set: set, Seed: *seed, Opt: bo.Options{MaxGPPoints: 60}})
+	case "ibo":
+		strat = core.NewBO(t, clusterSpec, template, core.BOOptions{Set: core.InformedHints, Seed: *seed, Opt: bo.Options{MaxGPPoints: 60}})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps...\n", t.Name, t.N(), strat.Name(), *steps)
+	tr := core.Tune(ev, strat, *steps, stopZeros, 0)
+	best, ok := tr.Best()
+	if !ok {
+		fmt.Fprintln(os.Stderr, "no successful run")
+		os.Exit(1)
+	}
+	fmt.Printf("steps run:      %d\n", len(tr.Records))
+	fmt.Printf("best at step:   %d\n", tr.BestStep)
+	fmt.Printf("throughput:     %.0f tuples/s (bottleneck: %s)\n", best.Result.Throughput, best.Result.Bottleneck)
+	fmt.Printf("network/worker: %.2f MB/s\n", best.Result.NetworkBytesPerWorker/1e6)
+	fmt.Printf("tasks:          %d\n", best.Result.Tasks)
+	hints := best.Config.NormalizedHints()
+	fmt.Printf("hints:          %v\n", hints)
+	fmt.Printf("batch:          size=%d parallelism=%d\n", best.Config.BatchSize, best.Config.BatchParallelism)
+	fmt.Printf("threads:        worker=%d receiver=%d ackers=%d\n",
+		best.Config.WorkerThreads, best.Config.ReceiverThreads, best.Config.Ackers)
+}

@@ -1,0 +1,34 @@
+// Package stormtune is a reproduction of "Machines Tuning Machines:
+// Configuring Distributed Stream Processors with Bayesian Optimization"
+// (Fischer, Gao & Bernstein, IEEE CLUSTER 2015).
+//
+// It provides, as a library:
+//
+//   - a Storm/Trident cluster simulator that serves as the black-box
+//     objective function (topology + configuration → measured
+//     throughput), reproducing the mechanisms the paper identifies:
+//     per-tuple busy-wait cost, resource contention that scales service
+//     time with parallelism, mini-batch pipelining, acker bookkeeping,
+//     receiver threads, scheduler capacity and measurement noise;
+//   - a from-scratch Gaussian-process Bayesian optimizer in the style
+//     of Spearmint (Matérn-5/2 ARD kernel, slice-sampled
+//     hyperparameters, Expected Improvement), with pause/resume;
+//   - the GGen layer-by-layer topology generator and the paper's
+//     synthetic workload modifications (time imbalance, resource
+//     contention), plus the Sundog real-world topology;
+//   - the four tuning strategies of the evaluation (pla, ipla, bo,
+//     ibo), the §V-D parameter sets (h, h+bs+bp, bs+bp+cc) and the
+//     experimental protocol (passes, early stopping, best-config
+//     re-runs);
+//   - an experiment harness regenerating every table and figure of the
+//     evaluation (Table II, Figures 3–8).
+//
+// Quick start:
+//
+//	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+//	ev := stormtune.NewFluidSim(t, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
+//	best, err := stormtune.AutoTune(t, ev, stormtune.AutoTuneOptions{Steps: 30})
+//
+// See the examples directory for runnable programs and DESIGN.md for
+// the mapping between paper artifacts and modules.
+package stormtune

@@ -1,0 +1,35 @@
+// Quickstart: build a small synthetic topology, let Bayesian
+// optimization pick its parallelism hints on the simulated 80-machine
+// cluster, and compare against the naive parallel-linear baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"stormtune"
+)
+
+func main() {
+	// One of the paper's Table II topologies: 10 operators, 4 layers.
+	top := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+	fmt.Printf("topology %q: %d nodes, %d spouts, %d sinks\n",
+		top.Name, top.N(), len(top.Spouts()), len(top.Sinks()))
+
+	// The simulated cluster is the black-box objective: config in,
+	// measured tuples/s out.
+	ev := stormtune.NewFluidSim(top, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
+
+	// Baseline: parallel linear ascent (all hints equal, increasing).
+	pla := stormtune.Tune(ev, stormtune.NewPLA(top, stormtune.DefaultSyntheticConfig(top, 1)), 30, 3)
+	plaBest, _ := pla.Best()
+	fmt.Printf("pla best:  %8.0f tuples/s at step %d\n", plaBest.Result.Throughput, pla.BestStep)
+
+	// Bayesian optimization over per-node hints plus max-tasks.
+	cfg, res, err := stormtune.AutoTune(top, ev, stormtune.AutoTuneOptions{Steps: 30, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bo best:   %8.0f tuples/s (bottleneck: %s)\n", res.Throughput, res.Bottleneck)
+	fmt.Printf("bo hints:  %v (max-tasks %d)\n", cfg.NormalizedHints(), cfg.MaxTasks)
+}

@@ -1,0 +1,341 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"stormtune/internal/gp"
+	"stormtune/internal/sample"
+)
+
+// Options tune the optimizer. Zero values select Spearmint-like
+// defaults.
+type Options struct {
+	// InitialDesign is the number of Latin-hypercube seed points before
+	// the GP takes over (default max(3, d)).
+	InitialDesign int
+	// Candidates is the size of the random candidate grid scored by the
+	// acquisition each step (default 1000).
+	Candidates int
+	// HyperSamples is the number of slice-sampling hyperparameter draws
+	// the acquisition is averaged over (default 6). 1 disables
+	// marginalization and uses a MAP fit.
+	HyperSamples int
+	// LocalSearchIters refines the best candidate by coordinate
+	// perturbation (default 20).
+	LocalSearchIters int
+	// Acq selects the acquisition function (default EI{}).
+	Acq Acquisition
+	// Kernel selects the surrogate kernel constructor (default
+	// Matérn-5/2 with length 0.3). It is called with the space dimension.
+	Kernel func(d int) gp.Kernel
+	// NoiseVar is the initial observation-noise variance of the
+	// surrogate (default 1e-3; the sampler adapts it).
+	NoiseVar float64
+	// Seed seeds the internal RNG (default 1).
+	Seed int64
+	// MaxGPPoints caps the number of observations used to condition the
+	// GP; the most recent points are kept (0 = unlimited). Protects the
+	// O(n³) fit on very long runs.
+	MaxGPPoints int
+	// SeedCandidates are unit-cube points always included in the
+	// acquisition's candidate pool — the standard practice of seeding a
+	// tuner with baseline configurations (they are only selected when
+	// the model expects improvement there).
+	SeedCandidates [][]float64
+}
+
+func (o Options) withDefaults(d int) Options {
+	if o.InitialDesign <= 0 {
+		o.InitialDesign = 3
+		if d > o.InitialDesign {
+			o.InitialDesign = d
+		}
+		if o.InitialDesign > 10 {
+			o.InitialDesign = 10
+		}
+	}
+	if o.Candidates <= 0 {
+		o.Candidates = 1000
+	}
+	if o.HyperSamples <= 0 {
+		o.HyperSamples = 6
+	}
+	if o.LocalSearchIters < 0 {
+		o.LocalSearchIters = 0
+	} else if o.LocalSearchIters == 0 {
+		o.LocalSearchIters = 20
+	}
+	if o.Acq == nil {
+		o.Acq = EI{}
+	}
+	if o.Kernel == nil {
+		o.Kernel = func(d int) gp.Kernel { return gp.NewMatern52(d, 0.3) }
+	}
+	if o.NoiseVar <= 0 {
+		o.NoiseVar = 1e-3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Observation is one completed evaluation: a unit-cube point and the
+// measured objective (higher is better).
+type Observation struct {
+	U []float64 `json:"u"`
+	Y float64   `json:"y"`
+}
+
+// Optimizer is a sequential model-based optimizer over a Space. It is
+// not safe for concurrent use.
+type Optimizer struct {
+	Space *Space
+	Opts  Options
+
+	obs     []Observation
+	pending [][]float64 // suggested but not yet observed (for LHS bookkeeping)
+	rng     *rand.Rand
+
+	// LastStepDuration records how long the most recent Suggest call
+	// took; the scalability experiment (Figure 7) reads it.
+	LastStepDuration time.Duration
+}
+
+// NewOptimizer creates an optimizer over space.
+func NewOptimizer(space *Space, opts Options) *Optimizer {
+	o := opts.withDefaults(space.D())
+	return &Optimizer{
+		Space: space,
+		Opts:  o,
+		rng:   rand.New(rand.NewSource(o.Seed)),
+	}
+}
+
+// N returns the number of completed observations.
+func (opt *Optimizer) N() int { return len(opt.obs) }
+
+// Best returns the incumbent (unit-cube point, objective). ok is false
+// before any observation.
+func (opt *Optimizer) Best() (u []float64, y float64, ok bool) {
+	if len(opt.obs) == 0 {
+		return nil, 0, false
+	}
+	bi := 0
+	for i, o := range opt.obs {
+		if o.Y > opt.obs[bi].Y {
+			bi = i
+		}
+	}
+	return opt.obs[bi].U, opt.obs[bi].Y, true
+}
+
+// Suggest proposes the next unit-cube point to evaluate. The first
+// Opts.InitialDesign suggestions come from a Latin hypercube; afterwards
+// the GP surrogate is fitted and the acquisition maximized over a
+// candidate grid plus local search.
+func (opt *Optimizer) Suggest() []float64 {
+	start := time.Now()
+	defer func() { opt.LastStepDuration = time.Since(start) }()
+
+	d := opt.Space.D()
+	if len(opt.obs)+len(opt.pending) < opt.Opts.InitialDesign {
+		// Draw the whole remaining design in one LHS so points are
+		// stratified against each other.
+		u := sample.LatinHypercube(opt.rng, 1, d)[0]
+		opt.pending = append(opt.pending, u)
+		return u
+	}
+	u := opt.suggestGP()
+	opt.pending = append(opt.pending, u)
+	return u
+}
+
+func (opt *Optimizer) suggestGP() []float64 {
+	d := opt.Space.D()
+	xs, ys := opt.trainingSet()
+
+	// Standardize y for GP stability.
+	my, sy := meanStd(ys)
+	ny := make([]float64, len(ys))
+	for i, v := range ys {
+		ny[i] = (v - my) / sy
+	}
+
+	g := gp.New(opt.Opts.Kernel(d), opt.Opts.NoiseVar)
+	if err := g.Fit(xs, ny); err != nil {
+		// Degenerate surrogate: fall back to random exploration.
+		return sample.Uniform(opt.rng, 1, d)[0]
+	}
+
+	// Hyperparameter handling: marginalize over slice samples or MAP.
+	var gps []*gp.GP
+	if opt.Opts.HyperSamples <= 1 {
+		g.FitMAP(opt.rng, 5)
+		gps = []*gp.GP{g}
+	} else {
+		samples := g.SliceSampleHypers(opt.rng, opt.Opts.HyperSamples, 1)
+		for _, h := range samples {
+			gi := g.Clone()
+			if err := gi.SetHypersAndRefit(h); err == nil {
+				gps = append(gps, gi)
+			}
+		}
+		if len(gps) == 0 {
+			gps = []*gp.GP{g}
+		}
+	}
+
+	_, bestY, _ := opt.bestStandardized(my, sy)
+
+	// Candidate grid: uniform + Halton + seeds + jittered copies of the
+	// incumbent (Spearmint also includes the current best region).
+	cands := sample.Uniform(opt.rng, opt.Opts.Candidates/2, d)
+	cands = append(cands, sample.HaltonSeq(1+len(opt.obs)*17%1000, opt.Opts.Candidates/4, d)...)
+	cands = append(cands, opt.Opts.SeedCandidates...)
+	if bu, _, ok := opt.Best(); ok {
+		for i := 0; i < opt.Opts.Candidates/4; i++ {
+			c := make([]float64, d)
+			for j := range c {
+				c[j] = clamp01(bu[j] + 0.05*opt.rng.NormFloat64())
+			}
+			cands = append(cands, c)
+		}
+		// Axis sweeps: the incumbent with one coordinate moved to a
+		// fixed level. These give the acquisition visibility of
+		// single-parameter changes, which matter in high-dimensional
+		// configuration spaces where random candidates are always far
+		// from the data.
+		for j := 0; j < d; j++ {
+			for _, level := range []float64{0.05, 0.3, 0.7, 0.95} {
+				c := append([]float64(nil), bu...)
+				c[j] = level
+				cands = append(cands, c)
+			}
+		}
+	}
+
+	mus := make([]float64, len(gps))
+	sigmas := make([]float64, len(gps))
+	score := func(u []float64) float64 {
+		for i, gi := range gps {
+			mu, s2 := gi.Predict(u)
+			mus[i] = mu
+			sigmas[i] = math.Sqrt(s2)
+		}
+		return scoreMarginal(opt.Opts.Acq, mus, sigmas, bestY)
+	}
+
+	bestU := cands[0]
+	bestScore := math.Inf(-1)
+	for _, c := range cands {
+		if s := score(c); s > bestScore {
+			bestScore = s
+			bestU = c
+		}
+	}
+
+	// Local coordinate search around the best candidate.
+	cur := append([]float64(nil), bestU...)
+	step := 0.08
+	for it := 0; it < opt.Opts.LocalSearchIters; it++ {
+		improved := false
+		for j := 0; j < d; j++ {
+			for _, dir := range []float64{1, -1} {
+				trial := append([]float64(nil), cur...)
+				trial[j] = clamp01(trial[j] + dir*step)
+				if s := score(trial); s > bestScore {
+					bestScore = s
+					cur = trial
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+			if step < 1e-3 {
+				break
+			}
+		}
+	}
+	return cur
+}
+
+// trainingSet returns the conditioning data, truncated to MaxGPPoints
+// most recent observations if configured.
+func (opt *Optimizer) trainingSet() ([][]float64, []float64) {
+	obs := opt.obs
+	if m := opt.Opts.MaxGPPoints; m > 0 && len(obs) > m {
+		obs = obs[len(obs)-m:]
+	}
+	xs := make([][]float64, len(obs))
+	ys := make([]float64, len(obs))
+	for i, o := range obs {
+		xs[i] = o.U
+		ys[i] = o.Y
+	}
+	return xs, ys
+}
+
+func (opt *Optimizer) bestStandardized(my, sy float64) ([]float64, float64, bool) {
+	u, y, ok := opt.Best()
+	if !ok {
+		return nil, math.Inf(-1), false
+	}
+	return u, (y - my) / sy, true
+}
+
+// Observe records the objective value for a previously suggested (or
+// externally chosen) unit-cube point.
+func (opt *Optimizer) Observe(u []float64, y float64) {
+	if len(u) != opt.Space.D() {
+		panic(fmt.Sprintf("bo: observe point of dim %d against space of dim %d", len(u), opt.Space.D()))
+	}
+	opt.obs = append(opt.obs, Observation{U: append([]float64(nil), u...), Y: y})
+	// Drop the matching pending entry, if any.
+	for i, p := range opt.pending {
+		if sameVec(p, u) {
+			opt.pending = append(opt.pending[:i], opt.pending[i+1:]...)
+			break
+		}
+	}
+}
+
+// Observations returns a copy of the completed observations in order.
+func (opt *Optimizer) Observations() []Observation {
+	return append([]Observation(nil), opt.obs...)
+}
+
+func sameVec(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	if len(xs) == 0 {
+		return 0, 1
+	}
+	for _, v := range xs {
+		mean += v
+	}
+	mean /= float64(len(xs))
+	for _, v := range xs {
+		d := v - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	if std < 1e-9 {
+		std = 1
+	}
+	return mean, std
+}

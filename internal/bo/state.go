@@ -1,0 +1,93 @@
+package bo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// State is the serializable snapshot of an optimization run. Spearmint's
+// support for pausing and resuming "turned out to be important" in the
+// paper's cluster setup (§III-C); this provides the same capability.
+type State struct {
+	Version      int           `json:"version"`
+	Space        *Space        `json:"space"`
+	Observations []Observation `json:"observations"`
+	Seed         int64         `json:"seed"`
+}
+
+const stateVersion = 1
+
+// Snapshot captures the optimizer's observations and search space.
+func (opt *Optimizer) Snapshot() *State {
+	return &State{
+		Version:      stateVersion,
+		Space:        opt.Space,
+		Observations: opt.Observations(),
+		Seed:         opt.Opts.Seed,
+	}
+}
+
+// Save writes the snapshot as JSON.
+func (s *State) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SaveFile writes the snapshot to path, creating or truncating it.
+func (s *State) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadState reads a snapshot from r.
+func LoadState(r io.Reader) (*State, error) {
+	var s State
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("bo: decoding state: %w", err)
+	}
+	if s.Version != stateVersion {
+		return nil, fmt.Errorf("bo: unsupported state version %d", s.Version)
+	}
+	if s.Space == nil || len(s.Space.Dims) == 0 {
+		return nil, fmt.Errorf("bo: state has no search space")
+	}
+	for i, o := range s.Observations {
+		if len(o.U) != len(s.Space.Dims) {
+			return nil, fmt.Errorf("bo: observation %d has dim %d, space has %d", i, len(o.U), len(s.Space.Dims))
+		}
+	}
+	return &s, nil
+}
+
+// LoadStateFile reads a snapshot from a file.
+func LoadStateFile(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadState(f)
+}
+
+// Resume reconstructs an optimizer from a snapshot, replaying its
+// observations. opts may refine behaviour; its Seed is overridden by
+// the snapshot's seed advanced past the replayed history so the resumed
+// process does not repeat the same random draws.
+func Resume(s *State, opts Options) *Optimizer {
+	opts.Seed = s.Seed + int64(len(s.Observations)) + 1
+	opt := NewOptimizer(s.Space, opts)
+	for _, o := range s.Observations {
+		opt.Observe(o.U, o.Y)
+	}
+	return opt
+}

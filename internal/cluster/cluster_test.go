@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperSpec(t *testing.T) {
+	s := Paper()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.TotalCores() != 320 {
+		t.Fatalf("paper cluster has %d cores, want 320", s.TotalCores())
+	}
+	if s.Machines != 80 {
+		t.Fatalf("paper cluster has %d machines, want 80", s.Machines)
+	}
+}
+
+func TestValidateRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{},
+		{Machines: -1, CoresPerMachine: 4, CoreMillisPerSec: 1000, NICBytesPerSec: 1, TaskSlotsPerMachine: 1},
+		{Machines: 1, CoresPerMachine: 4, CoreMillisPerSec: 0, NICBytesPerSec: 1, TaskSlotsPerMachine: 1},
+		{Machines: 1, CoresPerMachine: 4, CoreMillisPerSec: 1, NICBytesPerSec: 1, TaskSlotsPerMachine: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should fail validation", i)
+		}
+	}
+}
+
+func TestPlaceRoundRobinSpreads(t *testing.T) {
+	spec := Spec{Machines: 4, CoresPerMachine: 4, CoreMillisPerSec: 1000,
+		NICBytesPerSec: 1, TaskSlotsPerMachine: 10, ThrashTasksPerCore: 4}
+	p := PlaceRoundRobin(spec, []int{4, 4})
+	// 8 tasks over 4 machines → exactly 2 per machine.
+	for m, n := range p.TasksOn {
+		if n != 2 {
+			t.Fatalf("machine %d has %d tasks, want 2", m, n)
+		}
+	}
+	// Each node's instances land on all 4 machines.
+	for node := 0; node < 2; node++ {
+		seen := map[int]bool{}
+		for _, tid := range p.NodeTasks[node] {
+			seen[p.MachineOf[tid]] = true
+		}
+		if len(seen) != 4 {
+			t.Fatalf("node %d spread over %d machines, want 4", node, len(seen))
+		}
+	}
+}
+
+func TestPlacementOverload(t *testing.T) {
+	spec := Spec{Machines: 2, CoresPerMachine: 4, CoreMillisPerSec: 1000,
+		NICBytesPerSec: 1, TaskSlotsPerMachine: 3, ThrashTasksPerCore: 4}
+	if PlaceRoundRobin(spec, []int{6}).Overloaded() {
+		t.Fatal("6 tasks on 2×3 slots should fit")
+	}
+	if !PlaceRoundRobin(spec, []int{7}).Overloaded() {
+		t.Fatal("7 tasks on 2×3 slots should overload")
+	}
+}
+
+func TestQuickPlacementConservation(t *testing.T) {
+	spec := Paper()
+	f := func(a, b, c uint8) bool {
+		counts := []int{1 + int(a)%50, 1 + int(b)%50, 1 + int(c)%50}
+		p := PlaceRoundRobin(spec, counts)
+		total := 0
+		for _, n := range p.TasksOn {
+			total += n
+		}
+		want := counts[0] + counts[1] + counts[2]
+		if total != want || len(p.MachineOf) != want {
+			return false
+		}
+		// Per-machine balance within 1 of ceiling.
+		if p.MaxTasksOnAnyMachine() > (want+spec.Machines-1)/spec.Machines+1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

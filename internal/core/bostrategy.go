@@ -1,0 +1,261 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"stormtune/internal/bo"
+	"stormtune/internal/cluster"
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+// ParamSet selects which Table I parameters the Bayesian optimizer
+// searches, mirroring the experiment groups of §V-D.
+type ParamSet int
+
+// Parameter sets.
+const (
+	// Hints searches the per-node parallelism hints plus max-tasks
+	// (the §V-A setup).
+	Hints ParamSet = iota
+	// HintsBatch adds batch size and batch parallelism ("h bs bp").
+	HintsBatch
+	// BatchCC fixes the hints and searches batch size, batch
+	// parallelism and the concurrency parameters ("bs bp cc").
+	BatchCC
+	// InformedHints searches a float multiplier per node applied to the
+	// base-parallelism weights (the ibo setup), plus max-tasks.
+	InformedHints
+)
+
+// BOOptions configure a BO strategy.
+type BOOptions struct {
+	// Set selects the parameter group (default Hints).
+	Set ParamSet
+	// HintMax bounds each per-node hint (default 64).
+	HintMax int
+	// MaxTasksMax bounds the max-tasks dimension (default: cluster task
+	// slots).
+	MaxTasksMax int
+	// MultiplierMax bounds ibo's per-node weight multiplier (default 8).
+	MultiplierMax float64
+	// Seed drives the optimizer's randomness; two passes use different
+	// seeds.
+	Seed int64
+	// Opt tunes the underlying optimizer; candidate/hyper sample counts
+	// mainly trade decision time for quality.
+	Opt bo.Options
+}
+
+// BOStrategy adapts the Spearmint-style optimizer to the Strategy
+// interface: it owns the mapping between the unit-cube search space and
+// storm.Config values.
+type BOStrategy struct {
+	name     string
+	template storm.Config
+	topology *topo.Topology
+	weights  []float64
+	set      ParamSet
+	space    *bo.Space
+	opt      *bo.Optimizer
+	pending  []float64
+	lastDur  time.Duration
+	hintMax  int
+}
+
+// NewBO builds a Bayesian-optimization strategy over the given
+// parameter set.
+func NewBO(t *topo.Topology, spec cluster.Spec, template storm.Config, opts BOOptions) *BOStrategy {
+	if opts.HintMax <= 0 {
+		opts.HintMax = 64
+	}
+	if opts.MaxTasksMax <= 0 {
+		opts.MaxTasksMax = spec.TotalTaskSlots()
+	}
+	// The max-tasks dimension needs a non-degenerate range even on
+	// clusters with fewer slots than the topology has nodes.
+	if opts.MaxTasksMax <= t.N() {
+		opts.MaxTasksMax = t.N() + 1
+	}
+	if opts.MultiplierMax <= 0 {
+		opts.MultiplierMax = 16
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	var dims []bo.Dim
+	name := "bo"
+	switch opts.Set {
+	case Hints, HintsBatch:
+		for _, n := range t.Nodes {
+			dims = append(dims, bo.Dim{Name: "hint:" + n.Name, Kind: bo.Int, Min: 1, Max: float64(opts.HintMax)})
+		}
+		dims = append(dims, bo.Dim{Name: "max-tasks", Kind: bo.Int,
+			Min: float64(t.N()), Max: float64(opts.MaxTasksMax)})
+		if opts.Set == HintsBatch {
+			dims = append(dims, batchDims()...)
+			name = "bo.h-bs-bp"
+		}
+	case BatchCC:
+		dims = append(dims, batchDims()...)
+		dims = append(dims,
+			bo.Dim{Name: "worker-threads", Kind: bo.Int, Min: 1, Max: 32},
+			bo.Dim{Name: "receiver-threads", Kind: bo.Int, Min: 1, Max: 16},
+			bo.Dim{Name: "ackers", Kind: bo.Int, Min: 1, Max: 320, Log: true},
+		)
+		name = "bo.bs-bp-cc"
+	case InformedHints:
+		for _, n := range t.Nodes {
+			dims = append(dims, bo.Dim{Name: "mult:" + n.Name, Kind: bo.Float, Min: 0.25, Max: opts.MultiplierMax})
+		}
+		dims = append(dims, bo.Dim{Name: "max-tasks", Kind: bo.Int,
+			Min: float64(t.N()), Max: float64(opts.MaxTasksMax)})
+		name = "ibo"
+	}
+	space := bo.MustSpace(dims...)
+	o := opts.Opt
+	o.Seed = opts.Seed
+	if len(o.SeedCandidates) == 0 {
+		o.SeedCandidates = diagonalSeeds(opts.Set, len(dims), t.N())
+	}
+	return &BOStrategy{
+		name:     name,
+		template: template.Clone(),
+		topology: t,
+		weights:  t.BaseWeights(),
+		set:      opts.Set,
+		space:    space,
+		opt:      bo.NewOptimizer(space, o),
+		hintMax:  opts.HintMax,
+	}
+}
+
+// diagonalSeeds builds baseline candidate points for hint-style spaces:
+// uniform values across all hint dimensions at several levels crossed
+// with several max-tasks levels — the configurations a practitioner
+// (or the pla/ipla baselines) would try first. The optimizer only
+// selects them when the surrogate predicts improvement.
+func diagonalSeeds(set ParamSet, dims, nNodes int) [][]float64 {
+	if set == BatchCC {
+		// Batch-size × batch-parallelism sweep grid with mid-range
+		// concurrency settings.
+		var seeds [][]float64
+		for _, bs := range []float64{0.2, 0.5, 0.8, 0.99} {
+			for _, bp := range []float64{0.2, 0.5, 0.8, 0.99} {
+				u := make([]float64, dims)
+				u[0], u[1] = bs, bp
+				for i := 2; i < dims; i++ {
+					u[i] = 0.5
+				}
+				seeds = append(seeds, u)
+			}
+		}
+		return seeds
+	}
+	batchLevels := []float64{0.5}
+	if dims > nNodes+1 {
+		batchLevels = []float64{0.3, 0.6, 0.9, 0.99}
+	}
+	var seeds [][]float64
+	for _, level := range []float64{0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 0.95} {
+		for _, mt := range []float64{0.15, 0.4, 0.7, 1.0} {
+			for _, bl := range batchLevels {
+				u := make([]float64, dims)
+				for i := 0; i < nNodes; i++ {
+					u[i] = level
+				}
+				u[nNodes] = mt
+				for i := nNodes + 1; i < dims; i++ {
+					u[i] = bl
+				}
+				seeds = append(seeds, u)
+			}
+		}
+	}
+	return seeds
+}
+
+func batchDims() []bo.Dim {
+	return []bo.Dim{
+		{Name: "batch-size", Kind: bo.Int, Min: 100, Max: 500000, Log: true},
+		{Name: "batch-parallelism", Kind: bo.Int, Min: 1, Max: 64},
+	}
+}
+
+// Name implements Strategy.
+func (s *BOStrategy) Name() string { return s.name }
+
+// Next implements Strategy.
+func (s *BOStrategy) Next() (storm.Config, bool) {
+	u := s.opt.Suggest()
+	s.lastDur = s.opt.LastStepDuration
+	s.pending = u
+	return s.decode(u), true
+}
+
+// Observe implements Strategy; the objective is measured throughput
+// (zero for failed runs, which teaches the GP to avoid the region).
+func (s *BOStrategy) Observe(cfg storm.Config, res storm.Result) {
+	if s.pending == nil {
+		return
+	}
+	y := res.Throughput
+	if res.Failed {
+		y = 0
+	}
+	s.opt.Observe(s.pending, y)
+	s.pending = nil
+}
+
+// DecisionTime implements Strategy.
+func (s *BOStrategy) DecisionTime() time.Duration { return s.lastDur }
+
+// BestConfig returns the configuration of the incumbent.
+func (s *BOStrategy) BestConfig() (storm.Config, bool) {
+	u, _, ok := s.opt.Best()
+	if !ok {
+		return storm.Config{}, false
+	}
+	return s.decode(u), true
+}
+
+// decode maps a unit-cube point to a concrete configuration.
+func (s *BOStrategy) decode(u []float64) storm.Config {
+	vals := s.space.Decode(u)
+	cfg := s.template.Clone()
+	n := s.topology.N()
+	switch s.set {
+	case Hints, HintsBatch:
+		cfg.Hints = make([]int, n)
+		for i := 0; i < n; i++ {
+			cfg.Hints[i] = int(vals[i])
+		}
+		cfg.MaxTasks = int(vals[n])
+		if s.set == HintsBatch {
+			cfg.BatchSize = int(vals[n+1])
+			cfg.BatchParallelism = int(vals[n+2])
+		}
+	case BatchCC:
+		cfg.BatchSize = int(vals[0])
+		cfg.BatchParallelism = int(vals[1])
+		cfg.WorkerThreads = int(vals[2])
+		cfg.ReceiverThreads = int(vals[3])
+		cfg.Ackers = int(vals[4])
+	case InformedHints:
+		cfg.Hints = make([]int, n)
+		for i := 0; i < n; i++ {
+			h := int(math.Round(s.weights[i] * vals[i]))
+			if h < 1 {
+				h = 1
+			}
+			if h > s.hintMax*4 {
+				h = s.hintMax * 4
+			}
+			cfg.Hints[i] = h
+		}
+		cfg.MaxTasks = int(vals[n])
+	}
+	return cfg
+}

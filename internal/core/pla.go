@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+// PLA is the paper's baseline: a naive parallel-linear-ascent optimizer
+// that "sets the same parallelism hint on all spout/bolt nodes in the
+// topology and increases them in parallel" (§V-A), one unit per step.
+type PLA struct {
+	Template storm.Config
+	n        int
+	step     int
+}
+
+// NewPLA builds the baseline over a topology; template supplies the
+// non-parallelism parameters (batching, threads), which pla leaves
+// untouched.
+func NewPLA(t *topo.Topology, template storm.Config) *PLA {
+	return &PLA{Template: template.Clone(), n: t.N()}
+}
+
+// Name implements Strategy.
+func (p *PLA) Name() string { return "pla" }
+
+// Next implements Strategy: uniform hints 1, 2, 3, …
+func (p *PLA) Next() (storm.Config, bool) {
+	p.step++
+	cfg := p.Template.Clone()
+	cfg.Hints = make([]int, p.n)
+	for i := range cfg.Hints {
+		cfg.Hints[i] = p.step
+	}
+	return cfg, true
+}
+
+// Observe implements Strategy (pla learns nothing).
+func (p *PLA) Observe(storm.Config, storm.Result) {}
+
+// DecisionTime implements Strategy; linear ascent decides instantly
+// ("the pla and ipla times … lie all between 0 and 1 second").
+func (p *PLA) DecisionTime() time.Duration { return 0 }
+
+// IPLA is the informed variant: hints are the recursive base-parallelism
+// weights (spout = 1, bolt = Σ parents) times a multiplier that
+// increases linearly.
+type IPLA struct {
+	Template storm.Config
+	weights  []float64
+	step     int
+}
+
+// NewIPLA builds the informed baseline using the topology's base
+// weights.
+func NewIPLA(t *topo.Topology, template storm.Config) *IPLA {
+	return &IPLA{Template: template.Clone(), weights: t.BaseWeights()}
+}
+
+// Name implements Strategy.
+func (p *IPLA) Name() string { return "ipla" }
+
+// Next implements Strategy: hint_b = round(weight_b × k) for k = 1, 2, …
+func (p *IPLA) Next() (storm.Config, bool) {
+	p.step++
+	cfg := p.Template.Clone()
+	cfg.Hints = ScaleWeights(p.weights, float64(p.step))
+	return cfg, true
+}
+
+// Observe implements Strategy (ipla learns nothing).
+func (p *IPLA) Observe(storm.Config, storm.Result) {}
+
+// DecisionTime implements Strategy.
+func (p *IPLA) DecisionTime() time.Duration { return 0 }
+
+// ScaleWeights converts base weights times a multiplier into integer
+// hints, flooring at one instance per node.
+func ScaleWeights(weights []float64, k float64) []int {
+	hints := make([]int, len(weights))
+	for i, w := range weights {
+		h := int(math.Round(w * k))
+		if h < 1 {
+			h = 1
+		}
+		hints[i] = h
+	}
+	return hints
+}

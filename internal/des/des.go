@@ -1,0 +1,94 @@
+// Package des is a small discrete-event simulation kernel: a clock and
+// a priority queue of timestamped events with deterministic FIFO
+// tie-breaking. The Storm batch simulator is built on it.
+package des
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	time float64
+	seq  uint64
+	fn   func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine runs events in timestamp order.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	// Processed counts executed events; useful for test assertions and
+	// run diagnostics.
+	Processed uint64
+}
+
+// New creates an engine at time 0.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current simulation time (seconds by convention).
+func (e *Engine) Now() float64 { return e.now }
+
+// Schedule registers fn to run at absolute time t. Events scheduled in
+// the past run at the current time (never rewinding the clock).
+func (e *Engine) Schedule(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, fn: fn})
+}
+
+// ScheduleAfter registers fn to run after delay d from now.
+func (e *Engine) ScheduleAfter(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Run executes events until the queue empties or the clock passes
+// until. Events scheduled exactly at until still execute. Returns the
+// final clock value.
+func (e *Engine) Run(until float64) float64 {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.time > until {
+			e.now = until
+			return e.now
+		}
+		heap.Pop(&e.events)
+		e.now = next.time
+		e.Processed++
+		next.fn()
+	}
+	if e.now < until && !math.IsInf(until, 1) {
+		e.now = until
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }

@@ -1,0 +1,109 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Processed != 3 {
+		t.Fatalf("processed = %d", e.Processed)
+	}
+}
+
+func TestTiesRunFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestRunStopsAtHorizon(t *testing.T) {
+	e := New()
+	ran := false
+	e.Schedule(5, func() { ran = true })
+	now := e.Run(3)
+	if ran {
+		t.Fatal("event beyond horizon executed")
+	}
+	if now != 3 {
+		t.Fatalf("clock = %v, want 3", now)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+	// Continue past it.
+	e.Run(10)
+	if !ran {
+		t.Fatal("event not executed after extending horizon")
+	}
+}
+
+func TestScheduleDuringRun(t *testing.T) {
+	e := New()
+	var hits []float64
+	var rec func()
+	count := 0
+	rec = func() {
+		hits = append(hits, e.Now())
+		count++
+		if count < 4 {
+			e.ScheduleAfter(1, rec)
+		}
+	}
+	e.Schedule(0, rec)
+	e.Run(100)
+	if len(hits) != 4 {
+		t.Fatalf("hits = %v", hits)
+	}
+	for i, h := range hits {
+		if h != float64(i) {
+			t.Fatalf("hit %d at %v, want %v", i, h, float64(i))
+		}
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {
+		e.Schedule(1, func() {
+			if e.Now() != 5 {
+				t.Fatalf("past event ran at %v, want clamp to 5", e.Now())
+			}
+		})
+	})
+	e.Run(10)
+}
+
+func TestNegativeDelayClamps(t *testing.T) {
+	e := New()
+	ran := false
+	e.ScheduleAfter(-3, func() { ran = true })
+	e.Run(1)
+	if !ran {
+		t.Fatal("negative-delay event should run immediately")
+	}
+}
+
+func TestEmptyRunAdvancesClock(t *testing.T) {
+	e := New()
+	if got := e.Run(7); got != 7 {
+		t.Fatalf("clock = %v", got)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stormtune/internal/stats"
+	"stormtune/internal/topo"
+)
+
+// Fig6 renders the LOESS-smoothed optimization traces of the bayesian
+// optimizer (Figure 6): throughput of each measured step, smoothed with
+// span 0.75, sampled at a few step positions per condition and size.
+func Fig6(g *GridData) *Report {
+	evalSteps := []int{5, 10, 20, 40, 60, 90, 120, 150, 180}
+	cols := []string{"condition", "size"}
+	for _, s := range evalSteps {
+		cols = append(cols, fmt.Sprintf("s%d", s))
+	}
+	r := &Report{
+		ID:      "fig6",
+		Title:   "LOESS (span 0.75) of bayesian-optimizer throughput vs step",
+		Columns: cols,
+	}
+	strat := "bo"
+	if g.Scale.IncludeBO180 {
+		strat = "bo180"
+	}
+	for _, cond := range topo.Conditions() {
+		for _, size := range g.Scale.Sizes {
+			o, ok := g.Get(cond, size, strat)
+			if !ok {
+				continue
+			}
+			// Pool the raw (step, throughput) points of all passes, as
+			// the paper's trendlines do.
+			var xs, ys []float64
+			for _, pass := range o.Passes {
+				for _, rec := range pass.Records {
+					if rec.Result.Failed {
+						continue
+					}
+					xs = append(xs, float64(rec.Step))
+					ys = append(ys, rec.Result.Throughput)
+				}
+			}
+			row := []string{cond.Label(), size}
+			if len(xs) < 3 {
+				for range evalSteps {
+					row = append(row, "-")
+				}
+				r.AddRow(row...)
+				continue
+			}
+			maxStep := stats.Max(xs)
+			ev := make([]float64, 0, len(evalSteps))
+			for _, s := range evalSteps {
+				ev = append(ev, float64(s))
+			}
+			sm := stats.Loess(xs, ys, 0.75, ev)
+			for i, s := range evalSteps {
+				if float64(s) > maxStep {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.0f", sm[i]))
+			}
+			r.AddRow(row...)
+		}
+	}
+	r.AddNote("paper shape: small plateaus within ~50 steps, medium within ~100; large (100+ parameters) keeps improving past step 100, especially under time imbalance")
+	return r
+}

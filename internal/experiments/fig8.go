@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/stats"
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+// SundogData holds the §V-D experiment series on the real-world
+// topology; Figures 8a and 8b are views of it.
+type SundogData struct {
+	Scale Scale
+	// Outcomes by label: "pla.h", "bo.h", "bo180.h", "bo.h-bs-bp",
+	// "bo180.h-bs-bp", "bo.bs-bp-cc".
+	Outcomes map[string]core.Outcome
+	Order    []string
+	// PLABestHint is the uniform hint pla settled on; the bs-bp-cc
+	// experiment fixes all hints to it (the paper uses 11).
+	PLABestHint int
+}
+
+// RunSundog executes the §V-D series: tune the Sundog topology's
+// parallelism hints alone, hints plus batching, and batching plus
+// concurrency parameters with hints fixed to pla's best.
+func RunSundog(sc Scale) *SundogData {
+	spec := cluster.Paper()
+	sd := topo.Sundog()
+	// The manually tuned deployment configuration of §V-D: batch size
+	// 50 000, batch parallelism 5, thread pool 8, default ackers.
+	template := storm.DefaultConfig(sd, 11)
+	ev := storm.NewFluidSim(sd, spec, storm.SourceTuples, sc.Seed+7)
+
+	data := &SundogData{Scale: sc, Outcomes: map[string]core.Outcome{}}
+	add := func(label string, out core.Outcome) {
+		data.Outcomes[label] = out
+		data.Order = append(data.Order, label)
+	}
+
+	// pla over hints.
+	plaFactory := func(int) core.Strategy { return core.NewPLA(sd, template) }
+	plaOut := core.RunProtocol(ev, plaFactory, sc.protocol(sc.Steps, 3))
+	add("pla.h", plaOut)
+	data.PLABestHint = 11
+	if len(plaOut.BestConfig.Hints) > 0 {
+		data.PLABestHint = plaOut.BestConfig.Hints[0]
+	}
+
+	boFactory := func(set core.ParamSet, tpl storm.Config, seedOff int64) core.StrategyFactory {
+		return func(pass int) core.Strategy {
+			o := sc.boOptions()
+			o.Set = set
+			o.Seed = sc.Seed + seedOff + int64(pass)*7919
+			return core.NewBO(sd, spec, tpl, o)
+		}
+	}
+
+	add("bo.h", core.RunProtocol(ev, boFactory(core.Hints, template, 100), sc.protocol(sc.Steps, 0)))
+	add("bo.h-bs-bp", core.RunProtocol(ev, boFactory(core.HintsBatch, template, 200), sc.protocol(sc.Steps, 0)))
+
+	fixed := storm.DefaultConfig(sd, data.PLABestHint)
+	add("bo.bs-bp-cc", core.RunProtocol(ev, boFactory(core.BatchCC, fixed, 300), sc.protocol(sc.Steps, 0)))
+
+	if sc.IncludeBO180 {
+		add("bo180.h", core.RunProtocol(ev, boFactory(core.Hints, template, 400), sc.protocol(sc.Steps180, 0)))
+		add("bo180.h-bs-bp", core.RunProtocol(ev, boFactory(core.HintsBatch, template, 500), sc.protocol(sc.Steps180, 0)))
+	}
+	return data
+}
+
+// Fig8a renders the Sundog throughput comparison, including the paper's
+// headline factor (best bs/bp search vs pla hints-only) and the t-test
+// verdicts of §V-D.
+func Fig8a(d *SundogData) *Report {
+	r := &Report{
+		ID:      "fig8a",
+		Title:   "Sundog throughput (tuples/s ingested), avg [min..max] of re-runs",
+		Columns: []string{"experiment", "throughput", "vs pla.h"},
+	}
+	base := d.Outcomes["pla.h"].Summary.Mean
+	for _, label := range d.Order {
+		o := d.Outcomes[label]
+		rel := "-"
+		if base > 0 && o.Summary.N > 0 {
+			rel = fmt.Sprintf("%.2fx", o.Summary.Mean/base)
+		}
+		r.AddRow(label, fmt.Sprintf("%.0f [%.0f..%.0f]", o.Summary.Mean, o.Summary.Min, o.Summary.Max), rel)
+	}
+	// The paper's two statistical claims.
+	if a, okA := d.Outcomes["pla.h"]; okA {
+		if b, okB := d.Outcomes["bo.h"]; okB {
+			tt := welchOnReruns(a, b)
+			r.AddNote("pla.h vs bo.h: p=%.3f (paper: hint-only strategies statistically indistinguishable)", tt.P)
+		}
+	}
+	if a, okA := d.Outcomes["bo.h-bs-bp"]; okA {
+		if b, okB := d.Outcomes["bo.bs-bp-cc"]; okB {
+			tt := welchOnReruns(a, b)
+			r.AddNote("bo.h-bs-bp vs bo.bs-bp-cc: p=%.3f (paper: not significantly different)", tt.P)
+		}
+	}
+	r.AddNote("paper shape: hint-only tuning is flat; adding batch size and batch parallelism yields ≈2.8x over pla hints-only")
+	return r
+}
+
+// welchOnReruns recomputes the re-run samples for a Welch test; the
+// Outcome keeps only the summary, so the samples are regenerated from
+// the summary-producing evaluator would be ideal — instead we
+// approximate with the stored min/mean/max when raw samples are absent.
+func welchOnReruns(a, b core.Outcome) stats.TTestResult {
+	return stats.WelchTTest(a.RerunSamples, b.RerunSamples)
+}
+
+// Fig8b renders the convergence traces of Figure 8b: best-so-far
+// throughput per step for the four headline setups.
+func Fig8b(d *SundogData) *Report {
+	labels := []string{"pla.h", "bo.h", "bo.h-bs-bp", "bo.bs-bp-cc"}
+	steps := []int{1, 5, 10, 20, 30, 45, 60, 90, 120, 180}
+	cols := []string{"experiment"}
+	for _, s := range steps {
+		cols = append(cols, fmt.Sprintf("s%d", s))
+	}
+	r := &Report{
+		ID:      "fig8b",
+		Title:   "Sundog convergence: best-so-far throughput vs optimization step",
+		Columns: cols,
+	}
+	for _, label := range labels {
+		o, ok := d.Outcomes[label]
+		if !ok || o.BestPass < 0 || o.BestPass >= len(o.Passes) {
+			continue
+		}
+		trace := o.Passes[o.BestPass].BestSoFar()
+		row := []string{label}
+		for _, s := range steps {
+			if s > len(trace) {
+				row = append(row, "-")
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.0f", trace[s-1]))
+		}
+		r.AddRow(row...)
+	}
+	r.AddNote("paper shape: pla.h and bo.h stay flat; bo.h-bs-bp climbs late; bo.bs-bp-cc reaches good configurations fastest")
+	return r
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+// Cell identifies one bar of Figure 4: condition × size × strategy.
+type Cell struct {
+	Cond     topo.Condition
+	Size     string
+	Strategy string
+}
+
+// Key renders a stable map key.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s|%s|%s", c.Cond.Label(), c.Size, c.Strategy)
+}
+
+// GridData holds the full synthetic-grid run; Figures 4-7 are views of
+// it (the paper likewise derives them from one experiment series).
+type GridData struct {
+	Scale Scale
+	Cells map[string]core.Outcome
+	// Order preserves insertion order for deterministic reports.
+	Order []Cell
+}
+
+// Strategies returns the strategy list the grid ran, in figure order.
+func (g *GridData) Strategies() []string {
+	out := []string{"pla", "bo", "ipla", "ibo"}
+	if g.Scale.IncludeBO180 {
+		out = append(out, "bo180")
+	}
+	return out
+}
+
+// Get returns the outcome for a cell.
+func (g *GridData) Get(cond topo.Condition, size, strategy string) (core.Outcome, bool) {
+	o, ok := g.Cells[Cell{cond, size, strategy}.Key()]
+	return o, ok
+}
+
+// RunSyntheticGrid executes the §V-A experiment series: for every
+// condition and topology size, tune with each strategy under the
+// paper's protocol on the 80-machine cluster.
+func RunSyntheticGrid(sc Scale) *GridData {
+	spec := cluster.Paper()
+	grid := &GridData{Scale: sc, Cells: map[string]core.Outcome{}}
+	for _, cond := range topo.Conditions() {
+		for _, size := range sc.Sizes {
+			t := topo.BuildSynthetic(size, cond, sc.Seed+3)
+			template := storm.DefaultSyntheticConfig(t, 1)
+			ev := storm.NewFluidSim(t, spec, storm.SinkTuples, sc.Seed+42)
+			for _, strat := range grid.Strategies() {
+				steps := sc.Steps
+				stopZeros := 0
+				base := strat
+				switch strat {
+				case "pla", "ipla":
+					stopZeros = 3
+				case "bo180":
+					steps = sc.Steps180
+					base = "bo180" // MakeFactory treats bo180 as bo
+				}
+				factory, err := core.MakeFactory(base, t, spec, template, sc.Seed+11, sc.boOptions())
+				if err != nil {
+					panic(err) // strategies are statically known
+				}
+				out := core.RunProtocol(ev, factory, sc.protocol(steps, stopZeros))
+				out.Strategy = strat
+				cell := Cell{cond, size, strat}
+				grid.Cells[cell.Key()] = out
+				grid.Order = append(grid.Order, cell)
+			}
+		}
+	}
+	return grid
+}
+
+// Fig4 renders the throughput comparison (Figure 4): average of the
+// best-configuration re-runs with min/max error bars.
+func Fig4(g *GridData) *Report {
+	r := &Report{
+		ID:      "fig4",
+		Title:   "Throughput of best found configuration (tuples/s at sinks), avg [min..max] of re-runs",
+		Columns: append([]string{"condition", "size"}, g.Strategies()...),
+	}
+	for _, cond := range topo.Conditions() {
+		for _, size := range g.Scale.Sizes {
+			row := []string{cond.Label(), size}
+			for _, strat := range g.Strategies() {
+				o, ok := g.Get(cond, size, strat)
+				if !ok || o.Summary.N == 0 {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.0f [%.0f..%.0f]", o.Summary.Mean, o.Summary.Min, o.Summary.Max))
+			}
+			r.AddRow(row...)
+		}
+	}
+	r.AddNote("paper shape: ipla dominates homogeneous medium/large; bo/ibo recover value under imbalance and contention; all tie on small and under TiIm+contention")
+	return r
+}
+
+// Fig5 renders convergence speed (Figure 5): the step at which the best
+// configuration was first measured, min/avg/max over passes.
+func Fig5(g *GridData) *Report {
+	r := &Report{
+		ID:      "fig5",
+		Title:   "Steps to reach best configuration, min/avg/max over optimization passes",
+		Columns: append([]string{"condition", "size"}, g.Strategies()...),
+	}
+	for _, cond := range topo.Conditions() {
+		for _, size := range g.Scale.Sizes {
+			row := []string{cond.Label(), size}
+			for _, strat := range g.Strategies() {
+				o, ok := g.Get(cond, size, strat)
+				if !ok || len(o.StepsToBest) == 0 {
+					row = append(row, "-")
+					continue
+				}
+				mn, mx, sum := o.StepsToBest[0], o.StepsToBest[0], 0
+				for _, s := range o.StepsToBest {
+					if s < mn {
+						mn = s
+					}
+					if s > mx {
+						mx = s
+					}
+					sum += s
+				}
+				row = append(row, fmt.Sprintf("%d/%.0f/%d", mn, float64(sum)/float64(len(o.StepsToBest)), mx))
+			}
+			r.AddRow(row...)
+		}
+	}
+	r.AddNote("paper shape: linear strategies converge in far fewer steps than the bayesian ones; topology information shortens bo's search")
+	return r
+}
+
+// Fig7 renders scalability (Figure 7): mean seconds per optimization
+// step.
+func Fig7(g *GridData) *Report {
+	r := &Report{
+		ID:      "fig7",
+		Title:   "Mean optimizer decision time per step (seconds)",
+		Columns: append([]string{"condition", "size"}, g.Strategies()...),
+	}
+	for _, cond := range topo.Conditions() {
+		for _, size := range g.Scale.Sizes {
+			row := []string{cond.Label(), size}
+			for _, strat := range g.Strategies() {
+				o, ok := g.Get(cond, size, strat)
+				if !ok || len(o.MeanDecisionSec) == 0 {
+					row = append(row, "-")
+					continue
+				}
+				sum := 0.0
+				for _, s := range o.MeanDecisionSec {
+					sum += s
+				}
+				row = append(row, fmt.Sprintf("%.4f", sum/float64(len(o.MeanDecisionSec))))
+			}
+			r.AddRow(row...)
+		}
+	}
+	r.AddNote("paper shape: pla/ipla ≈ 0; bayesian step time grows sublinearly with the number of parameters (topology size)")
+	return r
+}

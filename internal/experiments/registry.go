@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Runner produces one or more reports for an experiment id.
+type Runner func(sc Scale) []*Report
+
+// sharedGrid memoizes the synthetic grid per scale signature so that
+// fig4/fig5/fig6/fig7 reuse one run, as the paper derives all four
+// figures from the same experiment series.
+var sharedGrid struct {
+	mu    sync.Mutex
+	key   string
+	value *GridData
+}
+
+// GetGrid returns the (possibly cached) synthetic grid for the scale.
+func GetGrid(sc Scale) *GridData {
+	key := fmt.Sprintf("%+v", sc)
+	sharedGrid.mu.Lock()
+	defer sharedGrid.mu.Unlock()
+	if sharedGrid.key == key && sharedGrid.value != nil {
+		return sharedGrid.value
+	}
+	g := RunSyntheticGrid(sc)
+	sharedGrid.key = key
+	sharedGrid.value = g
+	return g
+}
+
+// sharedSundog memoizes the Sundog series per scale signature.
+var sharedSundog struct {
+	mu    sync.Mutex
+	key   string
+	value *SundogData
+}
+
+// GetSundog returns the (possibly cached) Sundog series for the scale.
+func GetSundog(sc Scale) *SundogData {
+	key := fmt.Sprintf("%+v", sc)
+	sharedSundog.mu.Lock()
+	defer sharedSundog.mu.Unlock()
+	if sharedSundog.key == key && sharedSundog.value != nil {
+		return sharedSundog.value
+	}
+	d := RunSundog(sc)
+	sharedSundog.key = key
+	sharedSundog.value = d
+	return d
+}
+
+// Registry maps experiment ids to runners.
+var Registry = map[string]Runner{
+	"table2":   func(Scale) []*Report { return []*Report{Table2()} },
+	"table3":   func(Scale) []*Report { return []*Report{Table3()} },
+	"fig3":     func(sc Scale) []*Report { return []*Report{Fig3(sc)} },
+	"fig4":     func(sc Scale) []*Report { return []*Report{Fig4(GetGrid(sc))} },
+	"fig5":     func(sc Scale) []*Report { return []*Report{Fig5(GetGrid(sc))} },
+	"fig6":     func(sc Scale) []*Report { return []*Report{Fig6(GetGrid(sc))} },
+	"fig7":     func(sc Scale) []*Report { return []*Report{Fig7(GetGrid(sc))} },
+	"fig8a":    func(sc Scale) []*Report { return []*Report{Fig8a(GetSundog(sc))} },
+	"fig8b":    func(sc Scale) []*Report { return []*Report{Fig8b(GetSundog(sc))} },
+	"ablation": func(sc Scale) []*Report { return []*Report{Ablation(sc)} },
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment id and renders its reports to w.
+func Run(id string, sc Scale, w io.Writer) error {
+	r, ok := Registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	for _, rep := range r(sc) {
+		rep.Render(w)
+		fmt.Fprintln(w)
+	}
+	return nil
+}

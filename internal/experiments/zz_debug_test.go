@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestDebugSundog(t *testing.T) {
+	sc := shapeScale()
+	sc.Steps = 60
+	sc.Steps180 = 180
+	sc.Passes = 2
+	sc.IncludeBO180 = true
+	d := RunSundog(sc)
+	for _, l := range d.Order {
+		o := d.Outcomes[l]
+		fmt.Printf("%-14s %.0f  cfg bs=%d bp=%d wt=%d rt=%d ack=%d h0=%d\n", l, o.Summary.Mean,
+			o.BestConfig.BatchSize, o.BestConfig.BatchParallelism, o.BestConfig.WorkerThreads,
+			o.BestConfig.ReceiverThreads, o.BestConfig.Ackers, o.BestConfig.Hints[0])
+	}
+}

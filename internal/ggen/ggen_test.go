@@ -1,0 +1,208 @@
+package ggen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	d := Generate(Params{V: 30, L: 5, P: 0.2, Seed: 1})
+	if d.V != 30 || d.L != 5 {
+		t.Fatalf("dims wrong: %d %d", d.V, d.L)
+	}
+	// Edges only go to strictly higher layers (acyclicity by construction).
+	for u, adj := range d.Adj {
+		for _, v := range adj {
+			if d.Layer[u] >= d.Layer[v] {
+				t.Fatalf("edge %d->%d does not go downstream (layers %d, %d)",
+					u, v, d.Layer[u], d.Layer[v])
+			}
+		}
+	}
+	// In/Adj are mirrors.
+	for u, adj := range d.Adj {
+		for _, v := range adj {
+			found := false
+			for _, w := range d.In[v] {
+				if w == u {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d->%d missing from In", u, v)
+			}
+		}
+	}
+}
+
+func TestEveryLayerNonEmpty(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		d := Generate(Params{V: 12, L: 6, P: 0.3, Seed: seed})
+		seen := make([]bool, d.L)
+		for _, l := range d.Layer {
+			seen[l] = true
+		}
+		for l, ok := range seen {
+			if !ok {
+				t.Fatalf("seed %d: layer %d empty", seed, l)
+			}
+		}
+	}
+}
+
+func TestNoIsolatedVertices(t *testing.T) {
+	// Constraint (1) of §IV-B: all vertices connected to ≥1 other.
+	for seed := int64(1); seed <= 30; seed++ {
+		d := Generate(Params{V: 40, L: 8, P: 0.02, Seed: seed}) // sparse: repair must kick in
+		for v := 0; v < d.V; v++ {
+			if len(d.Adj[v])+len(d.In[v]) == 0 {
+				t.Fatalf("seed %d: vertex %d isolated", seed, v)
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Generate(Params{V: 25, L: 4, P: 0.3, Seed: 7})
+	b := Generate(Params{V: 25, L: 4, P: 0.3, Seed: 7})
+	if a.Edges() != b.Edges() {
+		t.Fatalf("same seed, different graphs: %d vs %d edges", a.Edges(), b.Edges())
+	}
+	for v := 0; v < a.V; v++ {
+		if len(a.Adj[v]) != len(b.Adj[v]) {
+			t.Fatalf("same seed, different adjacency at %d", v)
+		}
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	d := Generate(Params{V: 30, L: 5, P: 0.25, Seed: 3})
+	pos := make([]int, d.V)
+	for i, v := range d.TopoOrder() {
+		pos[v] = i
+	}
+	for u, adj := range d.Adj {
+		for _, v := range adj {
+			if pos[u] >= pos[v] {
+				t.Fatalf("topo order violates edge %d->%d", u, v)
+			}
+		}
+	}
+}
+
+func TestSourcesAndSinks(t *testing.T) {
+	d := Generate(Params{V: 20, L: 4, P: 0.3, Seed: 5})
+	for _, s := range d.Sources() {
+		if len(d.In[s]) != 0 {
+			t.Fatalf("source %d has parents", s)
+		}
+	}
+	for _, s := range d.Sinks() {
+		if len(d.Adj[s]) != 0 {
+			t.Fatalf("sink %d has children", s)
+		}
+	}
+	if len(d.Sources()) == 0 || len(d.Sinks()) == 0 {
+		t.Fatal("layered DAG must have sources and sinks")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	d := Generate(Params{V: 50, L: 5, P: 0.08, Seed: 2})
+	s := d.ComputeStats()
+	if s.E != d.Edges() || s.Src != len(d.Sources()) || s.Snk != len(d.Sinks()) {
+		t.Fatalf("stats inconsistent: %+v", s)
+	}
+	if s.AvgOutDeg != float64(s.E)/float64(s.V) {
+		t.Fatalf("AOD inconsistent")
+	}
+}
+
+func TestGenerateMatchingTableII(t *testing.T) {
+	for name, want := range TableIITargets {
+		d := GenerateMatching(name, 500)
+		got := d.ComputeStats()
+		if got.V != want.V || got.L != want.L {
+			t.Fatalf("%s: V/L mismatch: %+v", name, got)
+		}
+		if relErr(got.E, want.E) > 0.15 {
+			t.Fatalf("%s: edge count %d too far from published %d", name, got.E, want.E)
+		}
+		if relErr(got.Src, want.Src) > 0.4 || relErr(got.Snk, want.Snk) > 0.4 {
+			t.Fatalf("%s: src/snk (%d/%d) too far from published (%d/%d)",
+				name, got.Src, got.Snk, want.Src, want.Snk)
+		}
+	}
+}
+
+func TestGenerateMatchingUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown name")
+		}
+	}()
+	GenerateMatching("gigantic", 10)
+}
+
+func TestGeneratePanicsOnBadParams(t *testing.T) {
+	for _, p := range []Params{
+		{V: 5, L: 1, P: 0.5},
+		{V: 3, L: 5, P: 0.5},
+		{V: 10, L: 3, P: 0},
+		{V: 10, L: 3, P: 1.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("params %+v should panic", p)
+				}
+			}()
+			Generate(p)
+		}()
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	d := Generate(Params{V: 6, L: 3, P: 0.5, Seed: 1})
+	dot := d.DOT("test")
+	if !strings.HasPrefix(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Fatalf("DOT output malformed:\n%s", dot)
+	}
+}
+
+// Property: generated DAGs are always acyclic and connected-per-vertex
+// for arbitrary valid parameters.
+func TestQuickGenerateInvariants(t *testing.T) {
+	f := func(seed int64, vRaw, lRaw uint8, pRaw float64) bool {
+		l := 2 + int(lRaw)%8
+		v := l + int(vRaw)%60
+		p := 0.02 + 0.9*frac(pRaw)
+		d := Generate(Params{V: v, L: l, P: p, Seed: seed})
+		for u, adj := range d.Adj {
+			for _, w := range adj {
+				if d.Layer[u] >= d.Layer[w] {
+					return false
+				}
+			}
+		}
+		for x := 0; x < d.V; x++ {
+			if len(d.Adj[x])+len(d.In[x]) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func frac(x float64) float64 {
+	v := math.Abs(math.Mod(x, 1))
+	if math.IsNaN(v) || v >= 1 {
+		return 0.5
+	}
+	return v
+}

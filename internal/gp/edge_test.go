@@ -1,0 +1,72 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSetHypersAndRefitValidation(t *testing.T) {
+	g := New(NewMatern52(2, 0.3), 1e-4)
+	if err := g.SetHypersAndRefit([]float64{0, 0}); err == nil {
+		t.Fatal("wrong-length hypers accepted")
+	}
+	x := [][]float64{{0.1, 0.1}, {0.9, 0.2}}
+	y := []float64{1, 2}
+	if err := g.Fit(x, y); err != nil {
+		t.Fatal(err)
+	}
+	h := append(g.Kern.Hypers(), math.Log(1e-3))
+	if err := g.SetHypersAndRefit(h); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Noise-1e-3) > 1e-12 {
+		t.Fatalf("noise = %v, want 1e-3", g.Noise)
+	}
+}
+
+func TestLogMarginalBeforeFit(t *testing.T) {
+	g := New(NewMatern52(1, 0.3), 1e-4)
+	if !math.IsInf(g.LogMarginalLikelihood(), -1) {
+		t.Fatal("LML before fit should be -Inf")
+	}
+}
+
+func TestSetHypersPanicsOnKernelMismatch(t *testing.T) {
+	k := NewMatern52(2, 0.3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.SetHypers([]float64{0})
+}
+
+func TestSliceSamplerRecoversFromBadStart(t *testing.T) {
+	// A start so extreme that the posterior is -Inf forces the
+	// sampler's reset path.
+	rng := rand.New(rand.NewSource(3))
+	x := [][]float64{{0.1}, {0.5}, {0.9}}
+	y := []float64{0, 1, 0}
+	g := New(NewMatern52(1, math.Exp(200)), math.Exp(200))
+	_ = g.Fit(x, y)
+	samples := g.SliceSampleHypers(rng, 4, 1)
+	if len(samples) != 4 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		for _, v := range s {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("degenerate sample %v", s)
+			}
+		}
+	}
+}
+
+func TestHyperPriorPrefersModerateValues(t *testing.T) {
+	moderate := []float64{math.Log(0.3), math.Log(0.3)}
+	extreme := []float64{math.Log(1e6), math.Log(1e-9)}
+	if hyperPrior(moderate) <= hyperPrior(extreme) {
+		t.Fatal("prior should prefer moderate hyperparameters")
+	}
+}

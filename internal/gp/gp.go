@@ -1,0 +1,153 @@
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"stormtune/internal/linalg"
+)
+
+// GP is a Gaussian-process regressor with a constant mean function and
+// i.i.d. Gaussian observation noise. Fit must be called before Predict.
+type GP struct {
+	Kern  Kernel
+	Noise float64 // observation noise variance σ_n²
+	Mean  float64 // constant mean m(x) = Mean
+
+	x     [][]float64
+	y     []float64
+	chol  *linalg.Cholesky
+	alpha []float64 // K⁻¹ (y - m)
+}
+
+// New creates a GP with the given kernel and noise variance. A zero
+// noise variance is clamped to a small positive value for stability.
+func New(k Kernel, noise float64) *GP {
+	if noise < 1e-10 {
+		noise = 1e-10
+	}
+	return &GP{Kern: k, Noise: noise}
+}
+
+// ErrNoData is returned by Fit when given no observations.
+var ErrNoData = errors.New("gp: no observations")
+
+// Fit conditions the GP on observations (x, y). The constant mean is
+// set to the sample mean of y (empirical-Bayes choice, as Spearmint
+// does before standardizing).
+func (g *GP) Fit(x [][]float64, y []float64) error {
+	if len(x) == 0 || len(x) != len(y) {
+		return ErrNoData
+	}
+	n := len(x)
+	g.x = x
+	g.y = y
+	mean := 0.0
+	for _, v := range y {
+		mean += v
+	}
+	g.Mean = mean / float64(n)
+
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.Kern.Eval(x[i], x[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Add(i, i, g.Noise)
+	}
+	ch, err := linalg.NewCholesky(k)
+	if err != nil {
+		return err
+	}
+	g.chol = ch
+	resid := make([]float64, n)
+	for i, v := range y {
+		resid[i] = v - g.Mean
+	}
+	g.alpha = ch.SolveVec(resid)
+	return nil
+}
+
+// N returns the number of conditioning observations.
+func (g *GP) N() int { return len(g.x) }
+
+// Predict returns the posterior mean and variance of the latent
+// function at xs. The variance excludes observation noise.
+func (g *GP) Predict(xs []float64) (mu, sigma2 float64) {
+	if g.chol == nil {
+		return g.Mean, g.Kern.Eval(xs, xs)
+	}
+	n := len(g.x)
+	kstar := make([]float64, n)
+	for i, xi := range g.x {
+		kstar[i] = g.Kern.Eval(xs, xi)
+	}
+	mu = g.Mean + linalg.Dot(kstar, g.alpha)
+	v := g.chol.ForwardSolve(kstar)
+	sigma2 = g.Kern.Eval(xs, xs) - linalg.Dot(v, v)
+	if sigma2 < 0 {
+		sigma2 = 0
+	}
+	return mu, sigma2
+}
+
+// LogMarginalLikelihood returns log p(y | x, θ) for the currently
+// fitted data under the current hyperparameters.
+func (g *GP) LogMarginalLikelihood() float64 {
+	if g.chol == nil {
+		return math.Inf(-1)
+	}
+	n := float64(len(g.y))
+	resid := make([]float64, len(g.y))
+	for i, v := range g.y {
+		resid[i] = v - g.Mean
+	}
+	return -0.5*linalg.Dot(resid, g.alpha) - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
+}
+
+// hypers returns the full log-space parameter vector:
+// [kernel hypers…, log noise].
+func (g *GP) hypers() []float64 {
+	kh := g.Kern.Hypers()
+	return append(kh, math.Log(g.Noise))
+}
+
+// setHypers installs a full log-space parameter vector and refits.
+func (g *GP) setHypers(h []float64) error {
+	nk := len(g.Kern.Hypers())
+	g.Kern.SetHypers(h[:nk])
+	g.Noise = math.Exp(h[nk])
+	if g.x == nil {
+		return nil
+	}
+	return g.Fit(g.x, g.y)
+}
+
+// SetHypersAndRefit installs a full log-space hyperparameter vector
+// (kernel hypers followed by log noise, as produced by
+// SliceSampleHypers) and refits the GP on its current data.
+func (g *GP) SetHypersAndRefit(h []float64) error {
+	if len(h) != len(g.Kern.Hypers())+1 {
+		return fmt.Errorf("gp: want %d hypers, got %d", len(g.Kern.Hypers())+1, len(h))
+	}
+	return g.setHypers(h)
+}
+
+// Clone returns a GP sharing no mutable state with g. Conditioning data
+// slices are shared (they are never mutated).
+func (g *GP) Clone() *GP {
+	out := &GP{Kern: g.Kern.Clone(), Noise: g.Noise, Mean: g.Mean}
+	if g.x != nil {
+		// Refit to rebuild factorization against the cloned kernel.
+		if err := out.Fit(g.x, g.y); err != nil {
+			// Cloning a successfully fitted GP with identical
+			// hyperparameters cannot fail; keep the zero state if it
+			// somehow does.
+			out.chol = nil
+		}
+	}
+	return out
+}

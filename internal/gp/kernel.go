@@ -1,0 +1,142 @@
+// Package gp implements Gaussian-process regression as used by
+// Spearmint: an ARD Matérn-5/2 (or squared-exponential) kernel over the
+// unit hypercube, exact inference via Cholesky factorization, and
+// marginalization of kernel hyperparameters by slice sampling.
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"stormtune/internal/linalg"
+)
+
+// Kernel is a positive-definite covariance function over R^d.
+type Kernel interface {
+	// Eval returns k(a, b).
+	Eval(a, b []float64) float64
+	// Dim returns the input dimensionality the kernel is configured for.
+	Dim() int
+	// Hypers returns the current hyperparameters in log space (the
+	// parameterization used by the slice sampler).
+	Hypers() []float64
+	// SetHypers installs hyperparameters from log space.
+	SetHypers(h []float64)
+	// Clone returns an independent copy.
+	Clone() Kernel
+}
+
+// Matern52 is the ARD Matérn-5/2 kernel Spearmint defaults to:
+//
+//	k(a,b) = σ² (1 + √5 r + 5r²/3) exp(-√5 r),  r² = Σ (a_i-b_i)²/ℓ_i²
+type Matern52 struct {
+	Amp2    float64   // signal variance σ²
+	Lengths []float64 // per-dimension length scales ℓ_i
+}
+
+// NewMatern52 builds a Matérn-5/2 kernel with unit amplitude and the
+// given initial length scale in every one of d dimensions.
+func NewMatern52(d int, length float64) *Matern52 {
+	ls := make([]float64, d)
+	for i := range ls {
+		ls[i] = length
+	}
+	return &Matern52{Amp2: 1, Lengths: ls}
+}
+
+// Eval returns the Matérn-5/2 covariance between a and b.
+func (k *Matern52) Eval(a, b []float64) float64 {
+	r2 := 0.0
+	for i := range a {
+		d := (a[i] - b[i]) / k.Lengths[i]
+		r2 += d * d
+	}
+	r := math.Sqrt(5 * r2)
+	return k.Amp2 * (1 + r + r*r/3) * math.Exp(-r)
+}
+
+// Dim returns the number of input dimensions.
+func (k *Matern52) Dim() int { return len(k.Lengths) }
+
+// Hypers returns [log σ², log ℓ_1 … log ℓ_d].
+func (k *Matern52) Hypers() []float64 {
+	h := make([]float64, 1+len(k.Lengths))
+	h[0] = math.Log(k.Amp2)
+	for i, l := range k.Lengths {
+		h[i+1] = math.Log(l)
+	}
+	return h
+}
+
+// SetHypers installs [log σ², log ℓ…].
+func (k *Matern52) SetHypers(h []float64) {
+	if len(h) != 1+len(k.Lengths) {
+		panic(fmt.Sprintf("gp: Matern52 wants %d hypers, got %d", 1+len(k.Lengths), len(h)))
+	}
+	k.Amp2 = math.Exp(h[0])
+	for i := range k.Lengths {
+		k.Lengths[i] = math.Exp(h[i+1])
+	}
+}
+
+// Clone returns an independent copy.
+func (k *Matern52) Clone() Kernel {
+	return &Matern52{Amp2: k.Amp2, Lengths: linalg.CloneVec(k.Lengths)}
+}
+
+// SquaredExp is the ARD squared-exponential (RBF) kernel:
+//
+//	k(a,b) = σ² exp(-½ Σ (a_i-b_i)²/ℓ_i²)
+type SquaredExp struct {
+	Amp2    float64
+	Lengths []float64
+}
+
+// NewSquaredExp builds an RBF kernel with unit amplitude and the given
+// initial length scale in every one of d dimensions.
+func NewSquaredExp(d int, length float64) *SquaredExp {
+	ls := make([]float64, d)
+	for i := range ls {
+		ls[i] = length
+	}
+	return &SquaredExp{Amp2: 1, Lengths: ls}
+}
+
+// Eval returns the RBF covariance between a and b.
+func (k *SquaredExp) Eval(a, b []float64) float64 {
+	r2 := 0.0
+	for i := range a {
+		d := (a[i] - b[i]) / k.Lengths[i]
+		r2 += d * d
+	}
+	return k.Amp2 * math.Exp(-0.5*r2)
+}
+
+// Dim returns the number of input dimensions.
+func (k *SquaredExp) Dim() int { return len(k.Lengths) }
+
+// Hypers returns [log σ², log ℓ_1 … log ℓ_d].
+func (k *SquaredExp) Hypers() []float64 {
+	h := make([]float64, 1+len(k.Lengths))
+	h[0] = math.Log(k.Amp2)
+	for i, l := range k.Lengths {
+		h[i+1] = math.Log(l)
+	}
+	return h
+}
+
+// SetHypers installs [log σ², log ℓ…].
+func (k *SquaredExp) SetHypers(h []float64) {
+	if len(h) != 1+len(k.Lengths) {
+		panic(fmt.Sprintf("gp: SquaredExp wants %d hypers, got %d", 1+len(k.Lengths), len(h)))
+	}
+	k.Amp2 = math.Exp(h[0])
+	for i := range k.Lengths {
+		k.Lengths[i] = math.Exp(h[i+1])
+	}
+}
+
+// Clone returns an independent copy.
+func (k *SquaredExp) Clone() Kernel {
+	return &SquaredExp{Amp2: k.Amp2, Lengths: linalg.CloneVec(k.Lengths)}
+}

@@ -1,0 +1,153 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when Cholesky factorization fails
+// even after the maximum jitter has been applied.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L with A = L Lᵀ, plus the
+// jitter that had to be added to the diagonal to make A numerically
+// positive definite.
+type Cholesky struct {
+	L      *Matrix
+	Jitter float64
+}
+
+// NewCholesky factorizes the symmetric matrix a. If the plain
+// factorization fails it retries with exponentially growing diagonal
+// jitter starting at 1e-10 times the mean diagonal, up to maxTries
+// doublings — the standard trick for GP kernel matrices that are
+// positive semi-definite up to rounding.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	meanDiag := 0.0
+	for i := 0; i < n; i++ {
+		meanDiag += a.At(i, i)
+	}
+	if n > 0 {
+		meanDiag /= float64(n)
+	}
+	if meanDiag <= 0 {
+		meanDiag = 1
+	}
+
+	const maxTries = 12
+	jitter := 0.0
+	for try := 0; try <= maxTries; try++ {
+		l, ok := tryCholesky(a, jitter)
+		if ok {
+			return &Cholesky{L: l, Jitter: jitter}, nil
+		}
+		if jitter == 0 {
+			jitter = 1e-10 * meanDiag
+		} else {
+			jitter *= 10
+		}
+	}
+	return nil, ErrNotPositiveDefinite
+}
+
+func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j) + jitter
+		for k := 0; k < j; k++ {
+			ljk := l.At(j, k)
+			d -= ljk * ljk
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			li := l.Data[i*n : i*n+j]
+			lj := l.Data[j*n : j*n+j]
+			for k := 0; k < j; k++ {
+				s -= li[k] * lj[k]
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, true
+}
+
+// SolveVec solves A x = b given the factorization, returning x.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	y := c.ForwardSolve(b)
+	return c.BackSolve(y)
+}
+
+// ForwardSolve solves L y = b.
+func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic(fmt.Sprintf("linalg: forward solve len %d vs %d", len(b), n))
+	}
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		row := c.L.Data[i*n : i*n+i]
+		for k, lik := range row {
+			s -= lik * y[k]
+		}
+		y[i] = s / c.L.Data[i*n+i]
+	}
+	return y
+}
+
+// BackSolve solves Lᵀ x = y.
+func (c *Cholesky) BackSolve(y []float64) []float64 {
+	n := c.L.Rows
+	if len(y) != n {
+		panic(fmt.Sprintf("linalg: back solve len %d vs %d", len(y), n))
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.Data[k*n+i] * x[k]
+		}
+		x[i] = s / c.L.Data[i*n+i]
+	}
+	return x
+}
+
+// LogDet returns log|A| = 2 Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	n := c.L.Rows
+	s := 0.0
+	for i := 0; i < n; i++ {
+		s += math.Log(c.L.Data[i*n+i])
+	}
+	return 2 * s
+}
+
+// SolveMatrix solves A X = B column by column.
+func (c *Cholesky) SolveMatrix(b *Matrix) *Matrix {
+	if b.Rows != c.L.Rows {
+		panic("linalg: SolveMatrix dim mismatch")
+	}
+	out := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, b.Rows)
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			col[i] = b.At(i, j)
+		}
+		x := c.SolveVec(col)
+		for i := 0; i < b.Rows; i++ {
+			out.Set(i, j, x[i])
+		}
+	}
+	return out
+}

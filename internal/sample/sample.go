@@ -1,0 +1,102 @@
+// Package sample generates space-filling point sets in the unit
+// hypercube: Latin hypercube designs for Bayesian-optimization seeding
+// and Halton sequences plus uniform draws for acquisition-function
+// candidate grids (the role Spearmint's candidate grid plays).
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// LatinHypercube returns n points in [0,1)^d such that each dimension's
+// projection hits each of the n equal strata exactly once.
+func LatinHypercube(rng *rand.Rand, n, d int) [][]float64 {
+	if n <= 0 || d <= 0 {
+		return nil
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = make([]float64, d)
+	}
+	perm := make([]int, n)
+	for j := 0; j < d; j++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i := 0; i < n; i++ {
+			pts[i][j] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return pts
+}
+
+// Uniform returns n independent uniform points in [0,1)^d.
+func Uniform(rng *rand.Rand, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = rng.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// primes used as Halton bases; enough for 100+-dimensional topologies
+// plus auxiliary dimensions.
+var primes = func() []int {
+	var ps []int
+	for n := 2; len(ps) < 200; n++ {
+		isPrime := true
+		for _, p := range ps {
+			if p*p > n {
+				break
+			}
+			if n%p == 0 {
+				isPrime = false
+				break
+			}
+		}
+		if isPrime {
+			ps = append(ps, n)
+		}
+	}
+	return ps
+}()
+
+// Halton returns the i-th element (1-based index recommended) of the
+// d-dimensional Halton sequence. For d beyond the prime table it panics.
+func Halton(i, d int) []float64 {
+	if d > len(primes) {
+		panic(fmt.Sprintf("sample: Halton dimension %d exceeds prime table (%d)", d, len(primes)))
+	}
+	pt := make([]float64, d)
+	for j := 0; j < d; j++ {
+		pt[j] = radicalInverse(i, primes[j])
+	}
+	return pt
+}
+
+// HaltonSeq returns n Halton points starting at index start (use
+// start ≥ 1; index 0 is the origin in every dimension).
+func HaltonSeq(start, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for k := 0; k < n; k++ {
+		pts[k] = Halton(start+k, d)
+	}
+	return pts
+}
+
+func radicalInverse(i, base int) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}

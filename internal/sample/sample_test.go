@@ -1,0 +1,110 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 16, 3
+	pts := LatinHypercube(rng, n, d)
+	if len(pts) != n {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for j := 0; j < d; j++ {
+		seen := make([]bool, n)
+		for _, p := range pts {
+			if p[j] < 0 || p[j] >= 1 {
+				t.Fatalf("point out of unit cube: %v", p[j])
+			}
+			stratum := int(p[j] * float64(n))
+			if seen[stratum] {
+				t.Fatalf("dim %d stratum %d hit twice", j, stratum)
+			}
+			seen[stratum] = true
+		}
+	}
+}
+
+func TestLatinHypercubeDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if LatinHypercube(rng, 0, 3) != nil {
+		t.Fatal("n=0 should return nil")
+	}
+	if LatinHypercube(rng, 3, 0) != nil {
+		t.Fatal("d=0 should return nil")
+	}
+	pts := LatinHypercube(rng, 1, 2)
+	if len(pts) != 1 || len(pts[0]) != 2 {
+		t.Fatalf("1x2 LHS wrong shape")
+	}
+}
+
+func TestUniformInCube(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := Uniform(rng, 50, 4)
+	for _, p := range pts {
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("uniform point out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestHaltonKnownPrefix(t *testing.T) {
+	// Base-2 radical inverse: 1→0.5, 2→0.25, 3→0.75.
+	want := []float64{0.5, 0.25, 0.75}
+	for i, w := range want {
+		got := Halton(i+1, 1)[0]
+		if got != w {
+			t.Fatalf("halton(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+	// Base-3 second dimension: 1→1/3, 2→2/3.
+	if Halton(1, 2)[1] != 1.0/3 {
+		t.Fatalf("halton base 3 wrong: %v", Halton(1, 2)[1])
+	}
+}
+
+func TestHaltonSeqShape(t *testing.T) {
+	pts := HaltonSeq(1, 10, 5)
+	if len(pts) != 10 || len(pts[0]) != 5 {
+		t.Fatalf("shape = %dx%d", len(pts), len(pts[0]))
+	}
+	for _, p := range pts {
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				t.Fatalf("halton point out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestQuickHaltonInUnitCube(t *testing.T) {
+	f := func(i uint16, d uint8) bool {
+		dim := 1 + int(d)%20
+		idx := 1 + int(i)%5000
+		p := Halton(idx, dim)
+		for _, v := range p {
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaltonHighDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic beyond prime table")
+		}
+	}()
+	Halton(1, 10_000)
+}

@@ -1,0 +1,136 @@
+package stats
+
+import "math"
+
+// regIncBeta computes the regularized incomplete beta function
+// I_x(a, b) via the continued-fraction expansion (Numerical Recipes
+// betacf), which converges for all 0 ≤ x ≤ 1 with the symmetry trick.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lbeta) / a
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x)
+	}
+	// Use symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	lbetaSym := math.Exp(b*math.Log(1-x)+a*math.Log(x)-lbeta) / b
+	return 1 - lbetaSym*betacf(b, a, 1-x)
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta
+// function by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTCDF returns P(T ≤ t) for Student's t with nu degrees of
+// freedom.
+func StudentTCDF(t, nu float64) float64 {
+	if nu <= 0 {
+		return math.NaN()
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := nu / (nu + t*t)
+	p := 0.5 * regIncBeta(nu/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// TTestResult reports a Welch two-sample t-test.
+type TTestResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch-Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs a two-sided Welch's t-test of the null hypothesis
+// that the two samples have equal means. This is the test behind the
+// paper's "statistically insignificant (p=0.05)" statements in §V-D.
+func WelchTTest(a, b []float64) TTestResult {
+	na, nb := float64(len(a)), float64(len(b))
+	if na < 2 || nb < 2 {
+		return TTestResult{T: math.NaN(), DF: math.NaN(), P: math.NaN()}
+	}
+	ma, mb := Mean(a), Mean(b)
+	va, vb := Variance(a), Variance(b)
+	sa, sb := va/na, vb/nb
+	se := math.Sqrt(sa + sb)
+	if se == 0 {
+		if ma == mb {
+			return TTestResult{T: 0, DF: na + nb - 2, P: 1}
+		}
+		return TTestResult{T: math.Inf(1), DF: na + nb - 2, P: 0}
+	}
+	t := (ma - mb) / se
+	df := (sa + sb) * (sa + sb) / (sa*sa/(na-1) + sb*sb/(nb-1))
+	p := 2 * (1 - StudentTCDF(math.Abs(t), df))
+	if p > 1 {
+		p = 1
+	}
+	return TTestResult{T: t, DF: df, P: p}
+}
+
+// SignificantAt reports whether the test rejects the null at level
+// alpha (e.g. 0.05).
+func (r TTestResult) SignificantAt(alpha float64) bool {
+	return !math.IsNaN(r.P) && r.P < alpha
+}

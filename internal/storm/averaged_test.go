@@ -1,0 +1,69 @@
+package storm
+
+import (
+	"math"
+	"testing"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/stats"
+)
+
+func TestAveragedReducesVariance(t *testing.T) {
+	tp := chainTopo(20)
+	base := NewFluidSim(tp, testCluster(), SinkTuples, 5)
+	avg := Averaged(base, 8)
+	cfg := DefaultSyntheticConfig(tp, 4)
+
+	varOf := func(ev Evaluator) float64 {
+		var xs []float64
+		for i := 0; i < 40; i++ {
+			xs = append(xs, ev.Run(cfg, i).Throughput)
+		}
+		return stats.Variance(xs)
+	}
+	vBase := varOf(base)
+	vAvg := varOf(avg)
+	if !(vAvg < vBase/3) {
+		t.Fatalf("averaging should cut variance sharply: base %v vs avg %v", vBase, vAvg)
+	}
+}
+
+func TestAveragedPreservesMean(t *testing.T) {
+	tp := chainTopo(20)
+	base := NewFluidSim(tp, testCluster(), SinkTuples, 5)
+	avg := Averaged(base, 6)
+	cfg := DefaultSyntheticConfig(tp, 4)
+	var mBase, mAvg float64
+	n := 60
+	for i := 0; i < n; i++ {
+		mBase += base.Run(cfg, i).Throughput
+		mAvg += avg.Run(cfg, i).Throughput
+	}
+	mBase /= float64(n)
+	mAvg /= float64(n)
+	if math.Abs(mBase-mAvg)/mBase > 0.03 {
+		t.Fatalf("averaging shifted the mean: %v vs %v", mBase, mAvg)
+	}
+}
+
+func TestAveragedPropagatesFailure(t *testing.T) {
+	tp := chainTopo(20)
+	spec := cluster.Spec{Machines: 2, CoresPerMachine: 4, CoreMillisPerSec: 1000,
+		NICBytesPerSec: 128e6, TaskSlotsPerMachine: 2, ThrashTasksPerCore: 2}
+	avg := Averaged(NewFluidSim(tp, spec, SinkTuples, 1), 4)
+	r := avg.Run(DefaultSyntheticConfig(tp, 50), 0)
+	if !r.Failed {
+		t.Fatal("failure must propagate through averaging")
+	}
+}
+
+func TestAveragedDegenerateK(t *testing.T) {
+	tp := chainTopo(20)
+	base := NewFluidSim(tp, testCluster(), SinkTuples, 5)
+	if Averaged(base, 0).K != 1 {
+		t.Fatal("k<1 should clamp to 1")
+	}
+	if Averaged(base, 1).Metric() != SinkTuples {
+		t.Fatal("metric must pass through")
+	}
+}

@@ -1,0 +1,176 @@
+package storm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/ggen"
+	"stormtune/internal/topo"
+)
+
+// randomTopology builds a random valid synthetic topology for property
+// tests.
+func randomTopology(seed int64) *topo.Topology {
+	rng := rand.New(rand.NewSource(seed))
+	d := ggen.Generate(ggen.Params{V: 8 + rng.Intn(20), L: 3 + rng.Intn(4), P: 0.15 + 0.3*rng.Float64(), Seed: seed})
+	opts := topo.DefaultSynthetic()
+	opts.Seed = seed
+	opts.TimeImbalance = rng.Float64()
+	if rng.Intn(2) == 1 {
+		opts.ContentiousFraction = 0.25
+	}
+	return topo.FromDAG("prop", d, opts)
+}
+
+// Property: throughput is finite, non-negative, and zero exactly when
+// Failed for arbitrary topologies and configurations.
+func TestQuickFluidSanity(t *testing.T) {
+	spec := cluster.Paper()
+	f := func(seed int64, hintRaw, mtRaw uint8) bool {
+		tp := randomTopology(seed)
+		sim := NewFluidSim(tp, spec, SinkTuples, seed)
+		sim.Noise = NoNoise()
+		cfg := DefaultSyntheticConfig(tp, 1+int(hintRaw)%64)
+		cfg.MaxTasks = int(mtRaw) * 16
+		r := sim.Solve(cfg)
+		if r.Failed {
+			return r.Throughput == 0
+		}
+		return r.Throughput > 0 && !math.IsInf(r.Throughput, 0) && !math.IsNaN(r.Throughput) &&
+			r.NetworkBytesPerWorker >= 0 && r.SpoutRate > 0 && r.SinkRate > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: max-tasks normalization never increases throughput variance
+// into failure — a normalized config never fails scheduling when the
+// cap is within cluster slots.
+func TestQuickNormalizationPreventsSchedulingFailure(t *testing.T) {
+	spec := cluster.Paper()
+	f := func(seed int64, hintRaw uint8) bool {
+		tp := randomTopology(seed)
+		sim := NewFluidSim(tp, spec, SinkTuples, seed)
+		sim.Noise = NoNoise()
+		cfg := DefaultSyntheticConfig(tp, 1+int(hintRaw))
+		cfg.MaxTasks = spec.TotalTaskSlots() / 2
+		r := sim.Solve(cfg)
+		return !r.Failed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a bigger cluster never yields lower noise-free throughput
+// for the same configuration (monotonicity in resources).
+func TestFluidMonotoneInClusterSize(t *testing.T) {
+	tp := topo.BuildSynthetic("small", topo.Condition{}, 1)
+	cfg := DefaultSyntheticConfig(tp, 4)
+	prev := 0.0
+	for _, machines := range []int{4, 8, 20, 40, 80} {
+		spec := cluster.Paper()
+		spec.Machines = machines
+		sim := NewFluidSim(tp, spec, SinkTuples, 1)
+		sim.Noise = NoNoise()
+		r := sim.Solve(cfg)
+		if r.Failed {
+			t.Fatalf("machines=%d failed", machines)
+		}
+		if r.Throughput < prev*0.999 {
+			t.Fatalf("throughput fell when growing the cluster to %d machines: %v → %v",
+				machines, prev, r.Throughput)
+		}
+		prev = r.Throughput
+	}
+}
+
+// Property: adding contention never increases noise-free throughput.
+func TestContentionNeverHelps(t *testing.T) {
+	spec := cluster.Paper()
+	for seed := int64(1); seed <= 10; seed++ {
+		d := ggen.Generate(ggen.Params{V: 15, L: 4, P: 0.25, Seed: seed})
+		plain := topo.FromDAG("p", d, topo.DefaultSynthetic())
+		opts := topo.DefaultSynthetic()
+		opts.ContentiousFraction = 0.25
+		opts.Seed = seed
+		flagged := topo.FromDAG("f", d, opts)
+		cfg := DefaultSyntheticConfig(plain, 6)
+		a := func(tp *topo.Topology) float64 {
+			sim := NewFluidSim(tp, spec, SinkTuples, 1)
+			sim.Noise = NoNoise()
+			return sim.Solve(cfg).Throughput
+		}
+		if a(flagged) > a(plain)*1.0001 {
+			t.Fatalf("seed %d: contention increased throughput %v → %v", seed, a(plain), a(flagged))
+		}
+	}
+}
+
+// Failure injection: a cluster with a broken (tiny-NIC) network must
+// surface the NIC as the bottleneck for byte-heavy topologies.
+func TestNICBottleneckSurfaces(t *testing.T) {
+	tp := topo.MustNew("fat",
+		[]topo.Node{
+			{Name: "s", Kind: topo.Spout, TimeUnits: 0.01, Selectivity: 1, TupleBytes: 1 << 20},
+			{Name: "b", Kind: topo.Bolt, TimeUnits: 0.01, Selectivity: 1, TupleBytes: 1 << 20},
+		},
+		[]topo.Edge{{From: 0, To: 1, Grouping: topo.Shuffle}},
+	)
+	spec := cluster.Paper()
+	spec.NICBytesPerSec = 1e6 // 1 MB/s "broken" network
+	sim := NewFluidSim(tp, spec, SinkTuples, 1)
+	sim.Noise = NoNoise()
+	r := sim.Solve(DefaultConfig(tp, 8))
+	if r.Bottleneck != "nic" {
+		t.Fatalf("expected nic bottleneck, got %s", r.Bottleneck)
+	}
+}
+
+// The batch bound must weaken monotonically with batch parallelism.
+func TestQuickBatchBoundMonotoneInBP(t *testing.T) {
+	tp := topo.BuildSynthetic("small", topo.Condition{}, 1)
+	sim := NewFluidSim(tp, cluster.Paper(), SinkTuples, 1)
+	sim.Noise = NoNoise()
+	f := func(bpRaw uint8) bool {
+		bp := 1 + int(bpRaw)%32
+		lo := DefaultSyntheticConfig(tp, 8)
+		lo.BatchParallelism = bp
+		hi := lo.Clone()
+		hi.BatchParallelism = bp + 1
+		return sim.Solve(hi).Throughput >= sim.Solve(lo).Throughput*0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// DES and fluid must agree that the Sundog batch-tuning result holds
+// qualitatively: bigger batches and deeper pipelines beat the manual
+// configuration on both evaluators.
+func TestDESConfirmsSundogBatchGains(t *testing.T) {
+	sd := topo.Sundog()
+	spec := cluster.Small() // keep the DES affordable in tests
+	manual := DefaultConfig(sd, 2)
+	// A shallow pipeline with small batches is clearly pipeline-bound
+	// on the small cluster too.
+	manual.BatchSize = 5000
+	manual.BatchParallelism = 1
+	tuned := manual.Clone()
+	tuned.BatchSize = 265312
+	tuned.BatchParallelism = 16
+
+	fl := NewFluidSim(sd, spec, SourceTuples, 1)
+	fl.Noise = NoNoise()
+	ds := NewBatchDES(sd, spec, SourceTuples)
+
+	flGain := fl.Solve(tuned).Throughput / fl.Solve(manual).Throughput
+	dsGain := ds.Run(tuned, 0).Throughput / ds.Run(manual, 0).Throughput
+	if flGain <= 1 || dsGain <= 1 {
+		t.Fatalf("batch tuning should help on both evaluators: fluid %.2fx, des %.2fx", flGain, dsGain)
+	}
+}

@@ -1,0 +1,110 @@
+package storm
+
+import (
+	"fmt"
+
+	"stormtune/internal/topo"
+)
+
+// FuseChains applies Trident-style operator fusion: maximal linear
+// chains (each link with out-degree 1 into a bolt with in-degree 1) are
+// merged into a single processing element, as SPADE does in System-S
+// and Trident does to "prevent frequent reshuffling of data across the
+// network" (§III-A). Fusion is one of the framework behaviours the
+// paper notes obfuscates the impact of individual parallelism hints.
+//
+// The fused node sums the chain's per-tuple cost, multiplies
+// selectivities, keeps the last member's tuple size, and is contentious
+// if any member is. The returned mapping gives, for every original node
+// index, the index of the fused node that absorbed it.
+func FuseChains(t *topo.Topology) (*topo.Topology, []int) {
+	n := t.N()
+	// next[v] = w if (v,w) is a fusable link: v has exactly one child w,
+	// w has exactly one parent v, and w is a bolt.
+	next := make([]int, n)
+	prevFused := make([]bool, n)
+	for v := 0; v < n; v++ {
+		next[v] = -1
+		ch := t.Children(v)
+		if len(ch) != 1 {
+			continue
+		}
+		w := ch[0]
+		if len(t.Parents(w)) != 1 || t.Nodes[w].Kind != topo.Bolt {
+			continue
+		}
+		next[v] = w
+		prevFused[w] = true
+	}
+	// Heads of chains: nodes not absorbed into a predecessor.
+	mapping := make([]int, n)
+	var nodes []topo.Node
+	for v := 0; v < n; v++ {
+		if prevFused[v] {
+			continue
+		}
+		idx := len(nodes)
+		merged := t.Nodes[v]
+		sel := merged.Selectivity
+		if sel == 0 {
+			sel = 1
+		}
+		mapping[v] = idx
+		name := merged.Name
+		for w := next[v]; w != -1; w = next[w] {
+			mapping[w] = idx
+			merged.TimeUnits += t.Nodes[w].TimeUnits
+			ws := t.Nodes[w].Selectivity
+			if ws == 0 {
+				ws = 1
+			}
+			sel *= ws
+			merged.Contentious = merged.Contentious || t.Nodes[w].Contentious
+			merged.TupleBytes = t.Nodes[w].TupleBytes
+			name = name + "+" + t.Nodes[w].Name
+		}
+		merged.Name = name
+		merged.Selectivity = sel
+		nodes = append(nodes, merged)
+	}
+	// Rebuild edges between fused groups, dropping intra-group links
+	// and deduplicating.
+	seen := map[[2]int]bool{}
+	var edges []topo.Edge
+	for _, e := range t.Edges {
+		f, g := mapping[e.From], mapping[e.To]
+		if f == g {
+			continue
+		}
+		key := [2]int{f, g}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, topo.Edge{From: f, To: g, Grouping: e.Grouping})
+	}
+	fused, err := topo.New(t.Name+"(fused)", nodes, edges)
+	if err != nil {
+		// Fusion of a valid topology cannot produce an invalid one;
+		// a failure here is a programming error.
+		panic(fmt.Sprintf("storm: fusion produced invalid topology: %v", err))
+	}
+	return fused, mapping
+}
+
+// FuseHints projects a per-node hint vector of the original topology
+// onto a fused one: the fused node takes the maximum hint among its
+// members, mirroring how Trident overrides programmer hints for fused
+// groups.
+func FuseHints(hints []int, mapping []int, fusedN int) []int {
+	out := make([]int, fusedN)
+	for i := range out {
+		out[i] = 1
+	}
+	for v, h := range hints {
+		if h > out[mapping[v]] {
+			out[mapping[v]] = h
+		}
+	}
+	return out
+}

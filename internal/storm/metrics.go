@@ -1,0 +1,49 @@
+package storm
+
+// Result reports one measurement run, mirroring what the paper's
+// harness collected from a two-minute topology execution.
+type Result struct {
+	// Throughput is the objective the optimizers maximize: tuples per
+	// second arriving at sink operators (synthetic topologies) or
+	// ingested at the spouts (Sundog-style pipelines); see
+	// Evaluator.Metric.
+	Throughput float64
+	// SpoutRate is the aggregate source emission rate in tuples/s.
+	SpoutRate float64
+	// SinkRate is the aggregate sink arrival rate in tuples/s.
+	SinkRate float64
+	// NetworkBytesPerWorker is the average NIC load per worker in
+	// bytes/s (the Figure 3 metric).
+	NetworkBytesPerWorker float64
+	// Failed marks a run that measured zero throughput because the
+	// scheduler could not place the requested tasks (worker
+	// memory exhaustion in the real system).
+	Failed bool
+	// Bottleneck names the binding constraint, for diagnostics and the
+	// ablation benches.
+	Bottleneck string
+	// Tasks is the post-normalization task count.
+	Tasks int
+}
+
+// Metric selects which rate a Result reports as Throughput.
+type Metric int
+
+// Metric values.
+const (
+	// SinkTuples counts tuples/s arriving at sinks — the synthetic
+	// topologies' "tuples/s" axis in Figures 4-6.
+	SinkTuples Metric = iota
+	// SourceTuples counts tuples/s ingested at spouts — the Sundog
+	// "million tuples/s" axis in Figure 8.
+	SourceTuples
+)
+
+// Evaluator is the black-box objective: run one measurement with a
+// configuration and return the observed result. runIndex distinguishes
+// repeated measurements of the same configuration (each gets its own
+// noise draw).
+type Evaluator interface {
+	Run(cfg Config, runIndex int) Result
+	Metric() Metric
+}

@@ -1,0 +1,57 @@
+package storm
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NoiseModel reproduces the measurement noise of the paper's setup:
+// run-to-run variance from JVM warmup and scheduling jitter (a
+// multiplicative lognormal term) plus occasional interference from
+// students using the iMacs during evaluations (§IV-C1), modeled as a
+// rare throughput dip.
+type NoiseModel struct {
+	// Sigma is the lognormal standard deviation (default 0.04).
+	Sigma float64
+	// SpikeProb is the per-run probability of interference (default 0.06).
+	SpikeProb float64
+	// SpikeFactor multiplies throughput during an interference run
+	// (default 0.8).
+	SpikeFactor float64
+	// Seed decorrelates experiments; runs are deterministic given
+	// (Seed, config fingerprint, run index).
+	Seed int64
+}
+
+// DefaultNoise returns the calibrated noise model.
+func DefaultNoise(seed int64) NoiseModel {
+	return NoiseModel{Sigma: 0.04, SpikeProb: 0.06, SpikeFactor: 0.8, Seed: seed}
+}
+
+// NoNoise returns a deterministic model (multiplier always 1); tests
+// and the DES-vs-fluid cross-checks use it.
+func NoNoise() NoiseModel { return NoiseModel{} }
+
+// Multiplier returns the throughput factor for one run of one
+// configuration.
+func (n NoiseModel) Multiplier(fingerprint uint64, runIndex int) float64 {
+	if n.Sigma == 0 && n.SpikeProb == 0 {
+		return 1
+	}
+	seed := splitmix(uint64(n.Seed) ^ fingerprint ^ (uint64(runIndex)+1)*0x9e3779b97f4a7c15)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	m := math.Exp(n.Sigma * rng.NormFloat64())
+	if rng.Float64() < n.SpikeProb {
+		m *= n.SpikeFactor
+	}
+	return m
+}
+
+// splitmix is the SplitMix64 finalizer; it turns correlated seeds into
+// well-distributed ones.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,132 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// jsonTopology is the on-disk schema for user-provided topologies.
+type jsonTopology struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+	Edges []jsonEdge `json:"edges"`
+}
+
+type jsonNode struct {
+	Name        string  `json:"name"`
+	Kind        string  `json:"kind"` // "spout" or "bolt"
+	TimeUnits   float64 `json:"time_units"`
+	Contentious bool    `json:"contentious,omitempty"`
+	Selectivity float64 `json:"selectivity,omitempty"`
+	TupleBytes  int     `json:"tuple_bytes,omitempty"`
+	RateFactor  float64 `json:"rate_factor,omitempty"`
+}
+
+type jsonEdge struct {
+	From     string `json:"from"`
+	To       string `json:"to"`
+	Grouping string `json:"grouping,omitempty"` // "shuffle" (default), "fields", "global"
+}
+
+// WriteJSON serializes the topology in the user-facing schema.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	jt := jsonTopology{Name: t.Name}
+	for _, n := range t.Nodes {
+		jt.Nodes = append(jt.Nodes, jsonNode{
+			Name: n.Name, Kind: n.Kind.String(), TimeUnits: n.TimeUnits,
+			Contentious: n.Contentious, Selectivity: n.Selectivity,
+			TupleBytes: n.TupleBytes, RateFactor: n.RateFactor,
+		})
+	}
+	for _, e := range t.Edges {
+		jt.Edges = append(jt.Edges, jsonEdge{
+			From: t.Nodes[e.From].Name, To: t.Nodes[e.To].Name,
+			Grouping: e.Grouping.String(),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jt)
+}
+
+// ReadJSON parses and validates a topology from the user-facing
+// schema. Node references in edges are by name; groupings default to
+// shuffle; selectivity defaults to 1.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var jt jsonTopology
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("topo: decoding JSON: %w", err)
+	}
+	if jt.Name == "" {
+		jt.Name = "topology"
+	}
+	idx := map[string]int{}
+	nodes := make([]Node, 0, len(jt.Nodes))
+	for i, jn := range jt.Nodes {
+		if jn.Name == "" {
+			return nil, fmt.Errorf("topo: node %d has no name", i)
+		}
+		if _, dup := idx[jn.Name]; dup {
+			return nil, fmt.Errorf("topo: duplicate node name %q", jn.Name)
+		}
+		var kind Kind
+		switch jn.Kind {
+		case "spout":
+			kind = Spout
+		case "bolt":
+			kind = Bolt
+		default:
+			return nil, fmt.Errorf("topo: node %q has unknown kind %q (want spout or bolt)", jn.Name, jn.Kind)
+		}
+		sel := jn.Selectivity
+		if sel == 0 {
+			sel = 1
+		}
+		bytes := jn.TupleBytes
+		if bytes == 0 {
+			bytes = 256
+		}
+		idx[jn.Name] = len(nodes)
+		nodes = append(nodes, Node{
+			Name: jn.Name, Kind: kind, TimeUnits: jn.TimeUnits,
+			Contentious: jn.Contentious, Selectivity: sel,
+			TupleBytes: bytes, RateFactor: jn.RateFactor,
+		})
+	}
+	edges := make([]Edge, 0, len(jt.Edges))
+	for i, je := range jt.Edges {
+		from, ok := idx[je.From]
+		if !ok {
+			return nil, fmt.Errorf("topo: edge %d references unknown node %q", i, je.From)
+		}
+		to, ok := idx[je.To]
+		if !ok {
+			return nil, fmt.Errorf("topo: edge %d references unknown node %q", i, je.To)
+		}
+		var g Grouping
+		switch je.Grouping {
+		case "", "shuffle":
+			g = Shuffle
+		case "fields":
+			g = Fields
+		case "global":
+			g = Global
+		default:
+			return nil, fmt.Errorf("topo: edge %d has unknown grouping %q", i, je.Grouping)
+		}
+		edges = append(edges, Edge{From: from, To: to, Grouping: g})
+	}
+	return New(jt.Name, nodes, edges)
+}
+
+// LoadJSONFile reads a topology spec from a file.
+func LoadJSONFile(path string) (*Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

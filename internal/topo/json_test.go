@@ -1,0 +1,77 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := Sundog()
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != orig.N() || len(back.Edges) != len(orig.Edges) {
+		t.Fatalf("round trip changed shape: %d/%d nodes, %d/%d edges",
+			back.N(), orig.N(), len(back.Edges), len(orig.Edges))
+	}
+	for i := range orig.Nodes {
+		a, b := orig.Nodes[i], back.Nodes[i]
+		if a.Name != b.Name || a.Kind != b.Kind || a.TimeUnits != b.TimeUnits ||
+			a.Selectivity != b.Selectivity || a.RateFactor != b.RateFactor {
+			t.Fatalf("node %d changed: %+v vs %+v", i, a, b)
+		}
+	}
+	// Rates must be identical (derived behaviour preserved).
+	ra, rb := orig.Rates(), back.Rates()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("rates changed at %d: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestReadJSONValidates(t *testing.T) {
+	cases := map[string]string{
+		"bad-json":       `{`,
+		"unknown-kind":   `{"nodes":[{"name":"a","kind":"widget","time_units":1}],"edges":[]}`,
+		"dup-name":       `{"nodes":[{"name":"a","kind":"spout","time_units":1},{"name":"a","kind":"bolt","time_units":1}],"edges":[{"from":"a","to":"a"}]}`,
+		"unknown-node":   `{"nodes":[{"name":"a","kind":"spout","time_units":1}],"edges":[{"from":"a","to":"zz"}]}`,
+		"bad-grouping":   `{"nodes":[{"name":"a","kind":"spout","time_units":1},{"name":"b","kind":"bolt","time_units":1}],"edges":[{"from":"a","to":"b","grouping":"psychic"}]}`,
+		"no-name":        `{"nodes":[{"kind":"spout","time_units":1}],"edges":[]}`,
+		"structural-bad": `{"nodes":[{"name":"b","kind":"bolt","time_units":1}],"edges":[]}`,
+	}
+	for label, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted invalid spec", label)
+		}
+	}
+}
+
+func TestReadJSONDefaults(t *testing.T) {
+	src := `{
+	  "nodes": [
+	    {"name": "in", "kind": "spout", "time_units": 5},
+	    {"name": "out", "kind": "bolt", "time_units": 10}
+	  ],
+	  "edges": [{"from": "in", "to": "out"}]
+	}`
+	tp, err := ReadJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Name != "topology" {
+		t.Fatalf("default name = %q", tp.Name)
+	}
+	if tp.Nodes[1].Selectivity != 1 || tp.Nodes[1].TupleBytes != 256 {
+		t.Fatalf("defaults not applied: %+v", tp.Nodes[1])
+	}
+	if tp.Edges[0].Grouping != Shuffle {
+		t.Fatalf("default grouping = %v", tp.Edges[0].Grouping)
+	}
+}

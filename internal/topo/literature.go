@@ -1,0 +1,20 @@
+package topo
+
+// LiteratureTopology is one row of Table III: operator counts of stream
+// topologies published in the literature, which the paper surveys to
+// justify its 10/50/100-vertex synthetic sizes.
+type LiteratureTopology struct {
+	Year        int
+	Description string
+	Operators   int
+}
+
+// TableIII reproduces the paper's literature survey verbatim.
+func TableIII() []LiteratureTopology {
+	return []LiteratureTopology{
+		{2003, "Data Dissemination Problem in Aurora [27]", 40},
+		{2004, "Linear Road Benchmark in [28]", 60},
+		{2013, "Linear Road Benchmark used in [29]", 7},
+		{2013, "DEBS'13 Grand Challenge Query [30]", 3},
+	}
+}

@@ -1,0 +1,135 @@
+package topo
+
+// Sundog builds the modified Sundog entity-ranking topology of Figure 2
+// (Fischer, Blanco, Mika & Bernstein, ISWC 2015), as adapted for the
+// paper: input is read from HDFS (a common-crawl dump stands in for
+// search logs) and all distributed key-value-store calls are dummied
+// out — which leaves the workload *shape* intact while invalidating the
+// rankings, exactly as §IV-A describes.
+//
+// Phase 1 (reading, preprocessing, counting): HDFS1 → Filter →
+// PPS1→PPS2→PPS3 feeding counters CNT1..CNT5; term statistics are
+// written to DKVS1. Phase 2 (feature computation): FC1..FC7 combine
+// counter outputs. Phase 3 (ranking): M1..M3 merge features with
+// semi-static features from DKVS2 and R1 scores entity pairs, writing
+// results to HDFS2/HDFS3.
+//
+// Per-tuple costs are in compute units (1 unit ≈ 1 ms); Sundog operates
+// on lightweight tuples (parsed text lines), so costs are in the
+// micro- to sub-millisecond range, giving the million-tuples-per-second
+// throughput regime of Figure 8.
+func Sundog() *Topology {
+	// Node indices; keep in sync with the edges below.
+	const (
+		hdfs1 = iota // spout: read common-crawl lines
+		filter
+		dkvs1 // dummied DKVS writer (terminal)
+		pps1
+		pps2
+		pps3
+		cnt1
+		cnt2
+		cnt3
+		cnt4
+		cnt5
+		fc1
+		fc2
+		fc3
+		fc4
+		fc5
+		fc6
+		fc7
+		dkvs2 // spout: semi-static feature table scan (dummied, returns 1)
+		m1
+		m2
+		m3
+		r1
+		hdfs2
+		hdfs3
+		nNodes
+	)
+	us := func(micros float64) float64 { return micros / 1000 } // µs → compute units (ms)
+
+	nodes := make([]Node, nNodes)
+	set := func(i int, name string, kind Kind, costMicros, sel float64, bytes int) {
+		nodes[i] = Node{Name: name, Kind: kind, TimeUnits: us(costMicros), Selectivity: sel, TupleBytes: bytes}
+	}
+	// Reading and filtering: the dictionary filter drops most lines
+	// (selectivity < 1), which is what makes downstream phases cheap
+	// relative to ingest.
+	set(hdfs1, "HDFS1", Spout, 3, 1, 240)
+	set(filter, "Filter", Bolt, 3, 0.30, 160)
+	set(dkvs1, "DKVS1", Bolt, 5, 1, 48)
+	// Preprocessing steps build entity pairs.
+	set(pps1, "PPS1", Bolt, 12, 1, 152)
+	set(pps2, "PPS2", Bolt, 10, 1, 144)
+	set(pps3, "PPS3", Bolt, 10, 0.8, 136)
+	// Counters aggregate (fields grouping), emitting periodic updates.
+	set(cnt1, "CNT1", Bolt, 7, 0.5, 64)
+	set(cnt2, "CNT2", Bolt, 7, 0.5, 64)
+	set(cnt3, "CNT3", Bolt, 7, 0.5, 64)
+	set(cnt4, "CNT4", Bolt, 7, 0.5, 64)
+	set(cnt5, "CNT5", Bolt, 7, 0.5, 64)
+	// Feature computation.
+	set(fc1, "FC1", Bolt, 8, 1, 80)
+	set(fc2, "FC2", Bolt, 8, 1, 80)
+	set(fc3, "FC3", Bolt, 8, 1, 80)
+	set(fc4, "FC4", Bolt, 8, 1, 80)
+	set(fc5, "FC5", Bolt, 8, 1, 80)
+	set(fc6, "FC6", Bolt, 8, 1, 80)
+	set(fc7, "FC7", Bolt, 8, 1, 80)
+	// Semi-static features arrive on a slow spout ("do not change often
+	// or not at all", §IV-A): it trickles at 1% of the main ingest rate.
+	set(dkvs2, "DKVS2", Spout, 4, 1, 88)
+	nodes[dkvs2].RateFactor = 0.01
+	set(m1, "M1", Bolt, 8, 0.9, 104)
+	set(m2, "M2", Bolt, 8, 0.9, 104)
+	set(m3, "M3", Bolt, 8, 0.9, 104)
+	set(r1, "R1", Bolt, 1, 1, 120) // decision-tree scoring (high-rate, light)
+	set(hdfs2, "HDFS2", Bolt, 1, 1, 120)
+	set(hdfs3, "HDFS3", Bolt, 1, 1, 120)
+
+	edges := []Edge{
+		{hdfs1, filter, Shuffle},
+		{filter, dkvs1, Fields}, // term-occurrence stats to the DKVS
+		{filter, pps1, Shuffle},
+		{pps1, pps2, Shuffle},
+		{pps2, pps3, Shuffle},
+		// Counters hang off the preprocessing chain; fields grouping
+		// guarantees same-entity tuples meet the same counter instance.
+		{pps1, cnt1, Fields},
+		{pps2, cnt2, Fields},
+		{pps2, cnt3, Fields},
+		{pps3, cnt4, Fields},
+		{pps3, cnt5, Fields},
+		// Feature computation fan-in/fan-out.
+		{cnt1, fc1, Fields},
+		{cnt1, fc2, Fields},
+		{cnt2, fc2, Fields},
+		{cnt2, fc3, Fields},
+		{cnt3, fc4, Fields},
+		{cnt3, fc5, Fields},
+		{cnt4, fc5, Fields},
+		{cnt4, fc6, Fields},
+		{cnt5, fc6, Fields},
+		{cnt5, fc7, Fields},
+		// Merging with semi-static features.
+		{fc1, m1, Fields},
+		{fc2, m1, Fields},
+		{fc3, m1, Fields},
+		{fc4, m2, Fields},
+		{fc5, m2, Fields},
+		{fc6, m3, Fields},
+		{fc7, m3, Fields},
+		{dkvs2, m1, Shuffle},
+		{dkvs2, m2, Shuffle},
+		{dkvs2, m3, Shuffle},
+		// Ranking and output.
+		{m1, r1, Fields},
+		{m2, r1, Fields},
+		{m3, r1, Fields},
+		{r1, hdfs2, Shuffle},
+		{r1, hdfs3, Shuffle},
+	}
+	return MustNew("sundog", nodes, edges)
+}

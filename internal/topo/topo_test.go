@@ -1,0 +1,322 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"stormtune/internal/ggen"
+)
+
+// diamond builds spout → a, b → sink.
+func diamond(t *testing.T) *Topology {
+	t.Helper()
+	top, err := New("diamond",
+		[]Node{
+			{Name: "s", Kind: Spout, TimeUnits: 1, Selectivity: 1},
+			{Name: "a", Kind: Bolt, TimeUnits: 2, Selectivity: 1},
+			{Name: "b", Kind: Bolt, TimeUnits: 3, Selectivity: 1},
+			{Name: "sink", Kind: Bolt, TimeUnits: 4, Selectivity: 1},
+		},
+		[]Edge{{0, 1, Shuffle}, {0, 2, Shuffle}, {1, 3, Shuffle}, {2, 3, Shuffle}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	spout := Node{Name: "s", Kind: Spout, TimeUnits: 1}
+	bolt := Node{Name: "b", Kind: Bolt, TimeUnits: 1}
+	cases := []struct {
+		name  string
+		nodes []Node
+		edges []Edge
+	}{
+		{"empty", nil, nil},
+		{"no-spout", []Node{bolt}, nil},
+		{"spout-with-input", []Node{spout, {Name: "s2", Kind: Spout}}, []Edge{{0, 1, Shuffle}}},
+		{"orphan-bolt", []Node{spout, bolt}, nil},
+		{"self-loop", []Node{spout, bolt}, []Edge{{0, 1, Shuffle}, {1, 1, Shuffle}}},
+		{"out-of-range", []Node{spout, bolt}, []Edge{{0, 5, Shuffle}}},
+		{"cycle", []Node{spout, bolt, {Name: "c", Kind: Bolt, TimeUnits: 1}},
+			[]Edge{{0, 1, Shuffle}, {1, 2, Shuffle}, {2, 1, Shuffle}}},
+		{"negative-time", []Node{{Name: "s", Kind: Spout, TimeUnits: -1}}, nil},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.nodes, c.edges); err == nil {
+			t.Errorf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestDiamondStructure(t *testing.T) {
+	top := diamond(t)
+	if got := top.Spouts(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("spouts = %v", got)
+	}
+	if got := top.Sinks(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("sinks = %v", got)
+	}
+	if got := top.Children(0); len(got) != 2 {
+		t.Fatalf("children(0) = %v", got)
+	}
+	if got := top.Parents(3); len(got) != 2 {
+		t.Fatalf("parents(3) = %v", got)
+	}
+}
+
+func TestTopoOrderValid(t *testing.T) {
+	top := diamond(t)
+	order := top.TopoOrder()
+	pos := map[int]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range top.Edges {
+		if pos[e.From] >= pos[e.To] {
+			t.Fatalf("order violates edge %v", e)
+		}
+	}
+}
+
+func TestRatesDiamond(t *testing.T) {
+	top := diamond(t)
+	r := top.Rates()
+	// Spout rate 1 → a and b each receive 1 → sink receives 2.
+	want := []float64{1, 1, 1, 2}
+	for i := range want {
+		if math.Abs(r[i]-want[i]) > 1e-12 {
+			t.Fatalf("rates = %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRatesWithSelectivity(t *testing.T) {
+	top := MustNew("sel",
+		[]Node{
+			{Name: "s", Kind: Spout, TimeUnits: 1, Selectivity: 1},
+			{Name: "x2", Kind: Bolt, TimeUnits: 1, Selectivity: 2},
+			{Name: "sink", Kind: Bolt, TimeUnits: 1, Selectivity: 1},
+		},
+		[]Edge{{0, 1, Shuffle}, {1, 2, Shuffle}},
+	)
+	r := top.Rates()
+	if r[2] != 2 {
+		t.Fatalf("selectivity 2 should double downstream rate: %v", r)
+	}
+}
+
+func TestBaseWeightsDiamond(t *testing.T) {
+	top := diamond(t)
+	w := top.BaseWeights()
+	// spout=1; a=b=1; sink=2 — identical to Rates for selectivity-1 DAGs.
+	want := []float64{1, 1, 1, 2}
+	for i := range want {
+		if w[i] != want[i] {
+			t.Fatalf("weights = %v, want %v", w, want)
+		}
+	}
+}
+
+// Property: for selectivity-1 topologies the base-parallelism weights
+// equal the tuple rates — the structural fact that makes ipla optimal
+// on homogeneous topologies (§V-A discussion).
+func TestQuickWeightsEqualRates(t *testing.T) {
+	f := func(seed int64) bool {
+		d := ggen.Generate(ggen.Params{V: 20, L: 4, P: 0.3, Seed: seed})
+		top := FromDAG("t", d, DefaultSynthetic())
+		w := top.BaseWeights()
+		r := top.Rates()
+		for i := range w {
+			if math.Abs(w[i]-r[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromDAGStructure(t *testing.T) {
+	d := ggen.GenerateMatching("small", 500)
+	top := FromDAG("small", d, DefaultSynthetic())
+	if top.N() != 10 {
+		t.Fatalf("N = %d", top.N())
+	}
+	if len(top.Spouts()) == 0 || len(top.Sinks()) == 0 {
+		t.Fatal("no spouts or sinks")
+	}
+	for _, n := range top.Nodes {
+		if n.TimeUnits != 20 {
+			t.Fatalf("base config should have uniform 20 units, got %v", n.TimeUnits)
+		}
+		if n.Contentious {
+			t.Fatal("base config should have no contention")
+		}
+	}
+	for _, e := range top.Edges {
+		if e.Grouping != Shuffle {
+			t.Fatal("synthetic edges must use shuffle grouping")
+		}
+	}
+}
+
+func TestApplyTimeImbalancePreservesMeanApprox(t *testing.T) {
+	d := ggen.GenerateMatching("medium", 500)
+	top := FromDAG("m", d, DefaultSynthetic())
+	rng := rand.New(rand.NewSource(42))
+	ApplyTimeImbalance(top, rng, 20, 1)
+	sum, mn, mx := 0.0, math.Inf(1), math.Inf(-1)
+	for _, n := range top.Nodes {
+		sum += n.TimeUnits
+		mn = math.Min(mn, n.TimeUnits)
+		mx = math.Max(mx, n.TimeUnits)
+	}
+	mean := sum / float64(top.N())
+	if math.Abs(mean-20) > 5 {
+		t.Fatalf("mean time = %v, want ≈20", mean)
+	}
+	if mx-mn < 10 {
+		t.Fatalf("imbalance should spread costs, got range [%v, %v]", mn, mx)
+	}
+	if mn < 0 || mx > 40.0001 {
+		t.Fatalf("costs outside U(0,40): [%v, %v]", mn, mx)
+	}
+}
+
+func TestApplyContentionTargetsComputeMass(t *testing.T) {
+	d := ggen.GenerateMatching("medium", 500)
+	top := FromDAG("m", d, DefaultSynthetic())
+	rng := rand.New(rand.NewSource(7))
+	ApplyContention(top, rng, 0.25)
+	share := top.ContentiousShare()
+	if share < 0.10 || share > 0.40 {
+		t.Fatalf("contentious share = %v, want ≈0.25", share)
+	}
+	for i, n := range top.Nodes {
+		if n.Contentious && n.Kind == Spout {
+			t.Fatalf("spout %d flagged contentious", i)
+		}
+	}
+}
+
+func TestApplyContentionZeroFraction(t *testing.T) {
+	top := diamond(t)
+	ApplyContention(top, rand.New(rand.NewSource(1)), 0)
+	if top.ContentiousShare() != 0 {
+		t.Fatal("zero fraction should flag nothing")
+	}
+}
+
+func TestBuildSyntheticConditions(t *testing.T) {
+	for _, size := range Sizes() {
+		for _, cond := range Conditions() {
+			top := BuildSynthetic(size, cond, 3)
+			if err := top.Validate(); err != nil {
+				t.Fatalf("%s %s: %v", size, cond.Label(), err)
+			}
+			if cond.ContentiousFraction > 0 && top.ContentiousShare() == 0 {
+				t.Fatalf("%s %s: contention requested but absent", size, cond.Label())
+			}
+			if cond.ContentiousFraction == 0 && top.ContentiousShare() != 0 {
+				t.Fatalf("%s %s: unexpected contention", size, cond.Label())
+			}
+		}
+	}
+}
+
+func TestConditionsGridAndLabels(t *testing.T) {
+	cs := Conditions()
+	if len(cs) != 4 {
+		t.Fatalf("want 4 conditions, got %d", len(cs))
+	}
+	if cs[0].Label() != "0% TiIm / 0% Contentious" {
+		t.Fatalf("label = %q", cs[0].Label())
+	}
+	if cs[3].Label() != "100% TiIm / 25% Contentious" {
+		t.Fatalf("label = %q", cs[3].Label())
+	}
+}
+
+func TestSundogStructure(t *testing.T) {
+	s := Sundog()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 25 {
+		t.Fatalf("sundog has %d nodes, want 25 (Figure 2 operators)", s.N())
+	}
+	if got := len(s.Spouts()); got != 2 {
+		t.Fatalf("sundog spouts = %d, want 2 (HDFS1, DKVS2)", got)
+	}
+	// Sinks: DKVS1, HDFS2, HDFS3.
+	if got := len(s.Sinks()); got != 3 {
+		t.Fatalf("sundog sinks = %d, want 3", got)
+	}
+	// The ranking node must be reachable from both spouts' phases.
+	var r1 int = -1
+	for i, n := range s.Nodes {
+		if n.Name == "R1" {
+			r1 = i
+		}
+	}
+	if r1 < 0 {
+		t.Fatal("R1 missing")
+	}
+	if len(s.Parents(r1)) != 3 {
+		t.Fatalf("R1 should merge M1..M3, has %d parents", len(s.Parents(r1)))
+	}
+	// Lightweight per-tuple costs: everything well under 1 compute unit.
+	for _, n := range s.Nodes {
+		if n.TimeUnits <= 0 || n.TimeUnits > 0.1 {
+			t.Fatalf("sundog node %s cost %v outside µs regime", n.Name, n.TimeUnits)
+		}
+	}
+}
+
+func TestCriticalPathUnits(t *testing.T) {
+	top := diamond(t)
+	// Longest path: s(1) → b(3) → sink(4) = 8.
+	if got := top.CriticalPathUnits(); got != 8 {
+		t.Fatalf("critical path = %v, want 8", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	top := diamond(t)
+	c := top.Clone()
+	c.Nodes[0].TimeUnits = 99
+	if top.Nodes[0].TimeUnits == 99 {
+		t.Fatal("clone aliases parent")
+	}
+	if len(c.Children(0)) != len(top.Children(0)) {
+		t.Fatal("clone index not rebuilt")
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	rows := TableIII()
+	if len(rows) != 4 {
+		t.Fatalf("Table III has %d rows, want 4", len(rows))
+	}
+	// The paper's observation: most topologies < 60 operators.
+	for _, r := range rows {
+		if r.Operators > 60 {
+			t.Fatalf("row %+v exceeds the surveyed maximum", r)
+		}
+	}
+}
+
+func TestKindAndGroupingStrings(t *testing.T) {
+	if Spout.String() != "spout" || Bolt.String() != "bolt" {
+		t.Fatal("kind strings wrong")
+	}
+	if Shuffle.String() != "shuffle" || Fields.String() != "fields" || Global.String() != "global" {
+		t.Fatal("grouping strings wrong")
+	}
+}
