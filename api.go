@@ -33,6 +33,10 @@ type (
 	Metric = storm.Metric
 	// Strategy is a configuration optimizer (pla, ipla, bo, ibo).
 	Strategy = core.Strategy
+	// BatchStrategy is a Strategy that proposes several configurations
+	// at once for concurrent trial deployments (the BO strategies
+	// implement it via constant-liar batch suggestion).
+	BatchStrategy = core.BatchStrategy
 	// Protocol is the paper's experimental procedure.
 	Protocol = core.Protocol
 	// Outcome aggregates a protocol execution.
@@ -133,6 +137,21 @@ func Tune(ev Evaluator, strat Strategy, maxSteps, stopAfterZeros int) TuneResult
 	return core.Tune(ev, strat, maxSteps, stopAfterZeros, 0)
 }
 
+// TuneBatch runs one optimization pass dispatching q trial deployments
+// per round and evaluating them concurrently. BO strategies propose the
+// batch with the constant-liar strategy; q ≤ 1 reproduces Tune. Results
+// are deterministic for a fixed seed.
+func TuneBatch(ev Evaluator, strat Strategy, maxSteps, q, stopAfterZeros int) TuneResult {
+	return core.TuneBatch(ev, strat, maxSteps, q, stopAfterZeros, 0)
+}
+
+// MaxConcurrentTrials reports how many trial deployments needing
+// tasksPerTrial task instances a cluster can host at once — the upper
+// bound for TuneBatch's q on real hardware.
+func MaxConcurrentTrials(spec ClusterSpec, tasksPerTrial int) int {
+	return spec.MaxConcurrentTrials(tasksPerTrial)
+}
+
 // DefaultProtocol returns the paper's experimental protocol (60 steps,
 // 2 passes, 30 best-config re-runs).
 func DefaultProtocol() Protocol { return core.DefaultProtocol() }
@@ -155,6 +174,10 @@ type AutoTuneOptions struct {
 	Cluster *ClusterSpec
 	// Seed drives the optimizer (default 1).
 	Seed int64
+	// Parallel dispatches that many trial deployments per round using
+	// constant-liar batch suggestion (default 1 = the paper's sequential
+	// procedure).
+	Parallel int
 }
 
 // AutoTune searches for a good configuration of t against ev with
@@ -173,7 +196,7 @@ func AutoTune(t *Topology, ev Evaluator, opts AutoTuneOptions) (Config, Result, 
 		template = opts.Template.Clone()
 	}
 	strat := core.NewBO(t, spec, template, core.BOOptions{Set: opts.Set, Seed: opts.Seed})
-	tr := core.Tune(ev, strat, opts.Steps, 0, 0)
+	tr := core.TuneBatch(ev, strat, opts.Steps, opts.Parallel, 0, 0)
 	best, ok := tr.Best()
 	if !ok {
 		return Config{}, Result{}, fmt.Errorf("stormtune: no successful run in %d steps", opts.Steps)

@@ -57,6 +57,41 @@ func TestPublicProtocol(t *testing.T) {
 	}
 }
 
+func TestPublicTuneBatch(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	spec := SmallCluster()
+	ev := NewFluidSim(top, spec, SinkTuples, 1)
+	strat := NewBO(top, spec, DefaultSyntheticConfig(top, 1), BOOptions{Seed: 3})
+	if _, ok := strat.(BatchStrategy); !ok {
+		t.Fatal("BO strategy should expose batch suggestion")
+	}
+	tr := TuneBatch(ev, strat, 8, 4, 0)
+	if len(tr.Records) != 8 {
+		t.Fatalf("ran %d steps, want 8", len(tr.Records))
+	}
+	if best, ok := tr.Best(); !ok || best.Result.Throughput <= 0 {
+		t.Fatalf("batch tuning found nothing: %+v", tr)
+	}
+	if q := MaxConcurrentTrials(spec, DefaultSyntheticConfig(top, 1).TotalTasks()); q < 1 {
+		t.Fatalf("MaxConcurrentTrials = %d", q)
+	}
+}
+
+func TestPublicAutoTuneParallel(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	ev := NewFluidSim(top, PaperCluster(), SinkTuples, 1)
+	cfg, res, err := AutoTune(top, ev, AutoTuneOptions{Steps: 8, Seed: 2, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput <= 0 {
+		t.Fatalf("throughput = %v", res.Throughput)
+	}
+	if len(cfg.Hints) != top.N() {
+		t.Fatalf("config has %d hints for %d nodes", len(cfg.Hints), top.N())
+	}
+}
+
 func TestAutoTuneErrorsWithoutSuccess(t *testing.T) {
 	top := BuildSynthetic("small", Condition{}, 1)
 	// A one-machine cluster with one slot cannot place the topology at

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -133,6 +134,69 @@ func BenchmarkGPFit(b *testing.B) {
 		g := gp.New(gp.NewMatern52(d, 0.3), 1e-3)
 		if err := g.Fit(xs, ys); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkSuggestWorkers measures one optimizer decision step with a
+// large candidate grid at a fixed worker count; the Sequential/Parallel
+// pair below shows the speedup of the concurrent candidate scorer and
+// per-hyper-sample GP refits on multi-core hardware.
+func benchmarkSuggestWorkers(b *testing.B, workers int) {
+	b.Helper()
+	space := bo.MustSpace(
+		bo.Dim{Name: "a", Kind: bo.Float, Min: 0, Max: 1},
+		bo.Dim{Name: "b", Kind: bo.Float, Min: 0, Max: 1},
+		bo.Dim{Name: "c", Kind: bo.Float, Min: 0, Max: 1},
+		bo.Dim{Name: "d", Kind: bo.Float, Min: 0, Max: 1},
+		bo.Dim{Name: "e", Kind: bo.Int, Min: 1, Max: 64},
+		bo.Dim{Name: "f", Kind: bo.Int, Min: 1, Max: 64},
+	)
+	opt := bo.NewOptimizer(space, bo.Options{
+		Seed: 1, Candidates: 4000, HyperSamples: 4, Workers: workers,
+		MaxGPPoints: 40, LocalSearchIters: 0,
+	})
+	rng := rand.New(rand.NewSource(2))
+	obj := func(u []float64) float64 {
+		return -((u[0]-0.4)*(u[0]-0.4) + (u[1]-0.6)*(u[1]-0.6) + 0.1*u[2])
+	}
+	for i := 0; i < 40; i++ {
+		u := make([]float64, 6)
+		for j := range u {
+			u[j] = rng.Float64()
+		}
+		opt.Observe(u, obj(u))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := opt.Suggest()
+		opt.Observe(u, obj(u))
+	}
+}
+
+// BenchmarkBOSuggestSequentialScorer pins candidate scoring and GP
+// refits to one goroutine.
+func BenchmarkBOSuggestSequentialScorer(b *testing.B) { benchmarkSuggestWorkers(b, 1) }
+
+// BenchmarkBOSuggestParallelScorer fans both out across all cores.
+func BenchmarkBOSuggestParallelScorer(b *testing.B) { benchmarkSuggestWorkers(b, runtime.NumCPU()) }
+
+// BenchmarkTuneBatch measures a full concurrent-trials round (q=4) on
+// the fluid evaluator, the dispatch loop of the batch engine.
+func BenchmarkTuneBatch(b *testing.B) {
+	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+	spec := stormtune.SmallCluster()
+	ev := stormtune.NewFluidSim(t, spec, stormtune.SinkTuples, 1)
+	template := stormtune.DefaultSyntheticConfig(t, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		strat := stormtune.NewBO(t, spec, template, stormtune.BOOptions{
+			Seed: int64(i + 1),
+			Opt:  bo.Options{Candidates: 150, HyperSamples: 2, LocalSearchIters: 4},
+		})
+		res := stormtune.TuneBatch(ev, strat, 12, 4, 0)
+		if len(res.Records) == 0 {
+			b.Fatal("no records")
 		}
 	}
 }

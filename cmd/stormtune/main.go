@@ -4,7 +4,7 @@
 // Usage:
 //
 //	stormtune [-topology small|medium|large|sundog] [-spec file.json]
-//	          [-strategy pla|ipla|bo|ibo] [-steps N]
+//	          [-strategy pla|ipla|bo|ibo] [-steps N] [-parallel Q]
 //	          [-params h|h-bs-bp|bs-bp-cc] [-tiim X] [-contention X]
 //	          [-samples K] [-seed N]
 //
@@ -37,6 +37,7 @@ func main() {
 	cont := flag.Float64("contention", 0, "contentious fraction for synthetic topologies")
 	seed := flag.Int64("seed", 1, "random seed")
 	samples := flag.Int("samples", 1, "measurements to average per configuration (§VI future work)")
+	parallel := flag.Int("parallel", 1, "concurrent trial deployments per round (constant-liar batches)")
 	flag.Parse()
 
 	var t *topo.Topology
@@ -98,8 +99,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps...\n", t.Name, t.N(), strat.Name(), *steps)
-	tr := core.Tune(ev, strat, *steps, stopZeros, 0)
+	if *parallel > 1 {
+		fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps, %d concurrent trials...\n",
+			t.Name, t.N(), strat.Name(), *steps, *parallel)
+	} else {
+		fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps...\n", t.Name, t.N(), strat.Name(), *steps)
+	}
+	tr := core.TuneBatch(ev, strat, *steps, *parallel, stopZeros, 0)
 	best, ok := tr.Best()
 	if !ok {
 		fmt.Fprintln(os.Stderr, "no successful run")

@@ -21,13 +21,31 @@
 //     experimental protocol (passes, early stopping, best-config
 //     re-runs);
 //   - an experiment harness regenerating every table and figure of the
-//     evaluation (Table II, Figures 3–8).
+//     evaluation (Table II, Figures 3–8), plus a concurrent-trials
+//     scaling experiment ("batch").
+//
+// # Concurrent trials
+//
+// The paper evaluates one configuration at a time, but a real cluster
+// can host several trial deployments side by side. The optimizer's
+// SuggestBatch(q) proposes q configurations per round using the
+// constant-liar strategy: each already-suggested but unmeasured point
+// is conditioned into the surrogate with a fantasy objective (the worst
+// observed value by default), so the acquisition spreads the batch over
+// the landscape instead of proposing the same maximum q times. The BO
+// strategies expose this through core.BatchStrategy, TuneBatch
+// evaluates a batch's trials concurrently, Protocol.Concurrency and
+// AutoTuneOptions.Parallel plumb it through the experiment procedure,
+// and ClusterSpec.MaxConcurrentTrials bounds a sensible q. Internally
+// the acquisition candidate grid and the per-hyper-sample GP refits are
+// scored by a worker pool (Options.Workers); results are bit-identical
+// for any worker count and fixed seed.
 //
 // Quick start:
 //
 //	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
 //	ev := stormtune.NewFluidSim(t, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
-//	best, err := stormtune.AutoTune(t, ev, stormtune.AutoTuneOptions{Steps: 30})
+//	cfg, res, err := stormtune.AutoTune(t, ev, stormtune.AutoTuneOptions{Steps: 30, Parallel: 4})
 //
 // See the examples directory for runnable programs and DESIGN.md for
 // the mapping between paper artifacts and modules.

@@ -1,0 +1,3 @@
+module stormtune
+
+go 1.22

@@ -1,0 +1,196 @@
+package bo
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"stormtune/internal/gp"
+)
+
+// LiarStrategy selects the fantasy objective value assigned to pending
+// points when the surrogate is conditioned on an in-flight batch
+// (Ginsbourger, Le Riche & Carraro's constant-liar heuristic).
+type LiarStrategy int
+
+const (
+	// LiarMin lies with the worst observed objective (we maximize, so
+	// this is the pessimistic lie). It pushes the acquisition away from
+	// already-suggested points and gives the most diverse batches; the
+	// default.
+	LiarMin LiarStrategy = iota
+	// LiarMean lies with the mean observed objective.
+	LiarMean
+	// LiarMax lies with the best observed objective — the greedy lie
+	// that keeps the batch exploiting one region.
+	LiarMax
+)
+
+// value computes the lie for a non-empty observed objective slice.
+func (l LiarStrategy) value(ys []float64) float64 {
+	switch l {
+	case LiarMean:
+		s := 0.0
+		for _, y := range ys {
+			s += y
+		}
+		return s / float64(len(ys))
+	case LiarMax:
+		m := math.Inf(-1)
+		for _, y := range ys {
+			if y > m {
+				m = y
+			}
+		}
+		return m
+	default:
+		m := math.Inf(1)
+		for _, y := range ys {
+			if y < m {
+				m = y
+			}
+		}
+		return m
+	}
+}
+
+// SuggestBatch proposes q unit-cube points to evaluate concurrently.
+// Initial-design points come from the shared Latin hypercube; once the
+// surrogate takes over, each successive point is chosen with the
+// already-suggested (pending) points conditioned in as constant-liar
+// fantasies, so the batch spreads over the acquisition landscape instead
+// of collapsing onto one maximum. Observe each returned point (in any
+// order) to retire its fantasy. The result is deterministic for a fixed
+// seed and any Workers count.
+func (opt *Optimizer) SuggestBatch(q int) [][]float64 {
+	start := time.Now()
+	defer func() { opt.LastStepDuration = time.Since(start) }()
+	if q <= 0 {
+		return nil
+	}
+	out := make([][]float64, 0, q)
+	for i := 0; i < q; i++ {
+		out = append(out, opt.suggestOne())
+	}
+	return out
+}
+
+// Pending returns the number of suggested-but-unobserved points the
+// surrogate is currently treating as constant-liar fantasies.
+func (opt *Optimizer) Pending() int { return len(opt.pending) }
+
+// haltonOffset maps the observation count to the start index of the
+// Halton block mixed into the candidate grid, bounded to [1, 999] (the
+// sequence degenerates to the origin at index 0, so 0 is clamped).
+func haltonOffset(nObs int) int {
+	off := (1 + nObs*17) % 1000
+	if off == 0 {
+		off = 1
+	}
+	return off
+}
+
+// scorer evaluates the hyper-marginalized acquisition over the GP
+// ensemble. The GPs are only read, so one scorer can serve many
+// goroutines via per-worker closures.
+type scorer struct {
+	gps   []*gp.GP
+	acq   Acquisition
+	bestY float64
+}
+
+// worker returns a scoring closure with its own scratch buffers.
+func (s *scorer) worker() func(u []float64) float64 {
+	mus := make([]float64, len(s.gps))
+	sigmas := make([]float64, len(s.gps))
+	return func(u []float64) float64 {
+		for i, gi := range s.gps {
+			mu, s2 := gi.Predict(u)
+			mus[i] = mu
+			sigmas[i] = math.Sqrt(s2)
+		}
+		return scoreMarginal(s.acq, mus, sigmas, s.bestY)
+	}
+}
+
+// argmax scans the candidate grid with up to w workers and returns the
+// index and score of the best candidate. Ties break toward the lowest
+// index, so the result matches the sequential scan for any w.
+func (s *scorer) argmax(cands [][]float64, w int) (int, float64) {
+	n := len(cands)
+	if n == 0 {
+		return -1, math.Inf(-1)
+	}
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n < 64 {
+		score := s.worker()
+		bi, bs := 0, math.Inf(-1)
+		for i, c := range cands {
+			if v := score(c); v > bs {
+				bi, bs = i, v
+			}
+		}
+		return bi, bs
+	}
+
+	type chunkBest struct {
+		idx   int
+		score float64
+	}
+	bests := make([]chunkBest, w)
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			score := s.worker()
+			best := chunkBest{idx: -1, score: math.Inf(-1)}
+			for i := lo; i < hi; i++ {
+				if v := score(cands[i]); v > best.score {
+					best = chunkBest{idx: i, score: v}
+				}
+			}
+			bests[k] = best
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	bi, bs := 0, math.Inf(-1)
+	for _, b := range bests {
+		if b.idx >= 0 && (b.score > bs || (b.score == bs && b.idx < bi)) {
+			bi, bs = b.idx, b.score
+		}
+	}
+	return bi, bs
+}
+
+// parallelFor runs fn(i) for every i in [0, n) across up to w
+// goroutines. Each index must write only to its own slot of any shared
+// output, which keeps results independent of scheduling order.
+func parallelFor(w, n int, fn func(i int)) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		lo := k * n / w
+		hi := (k + 1) * n / w
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

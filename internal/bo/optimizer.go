@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"stormtune/internal/gp"
@@ -45,6 +46,14 @@ type Options struct {
 	// tuner with baseline configurations (they are only selected when
 	// the model expects improvement there).
 	SeedCandidates [][]float64
+	// Workers bounds the goroutines used to score the acquisition
+	// candidate grid and to refit the per-hyper-sample GPs (default
+	// GOMAXPROCS; 1 forces fully sequential operation). Results are
+	// identical for any worker count.
+	Workers int
+	// Liar selects the fantasy objective used by SuggestBatch's
+	// constant-liar strategy (default LiarMin, the pessimistic lie).
+	Liar LiarStrategy
 }
 
 func (o Options) withDefaults(d int) Options {
@@ -80,6 +89,9 @@ func (o Options) withDefaults(d int) Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -97,8 +109,14 @@ type Optimizer struct {
 	Opts  Options
 
 	obs     []Observation
-	pending [][]float64 // suggested but not yet observed (for LHS bookkeeping)
+	pending [][]float64 // suggested but not yet observed (conditioned on as constant-liar fantasies)
 	rng     *rand.Rand
+
+	// initQueue holds the full Latin-hypercube initial design, drawn
+	// once on the first Suggest so its points are stratified against
+	// each other; initNext indexes the next unissued point.
+	initQueue [][]float64
+	initNext  int
 
 	// LastStepDuration records how long the most recent Suggest call
 	// took; the scalability experiment (Figure 7) reads it.
@@ -140,12 +158,18 @@ func (opt *Optimizer) Best() (u []float64, y float64, ok bool) {
 func (opt *Optimizer) Suggest() []float64 {
 	start := time.Now()
 	defer func() { opt.LastStepDuration = time.Since(start) }()
+	return opt.suggestOne()
+}
 
-	d := opt.Space.D()
-	if len(opt.obs)+len(opt.pending) < opt.Opts.InitialDesign {
-		// Draw the whole remaining design in one LHS so points are
-		// stratified against each other.
-		u := sample.LatinHypercube(opt.rng, 1, d)[0]
+func (opt *Optimizer) suggestOne() []float64 {
+	if len(opt.obs)+len(opt.pending) < opt.Opts.InitialDesign && opt.initNext < opt.Opts.InitialDesign {
+		// The whole design is drawn in one LHS so points are stratified
+		// against each other; hand them out one per call.
+		if opt.initQueue == nil {
+			opt.initQueue = sample.LatinHypercube(opt.rng, opt.Opts.InitialDesign, opt.Space.D())
+		}
+		u := opt.initQueue[opt.initNext]
+		opt.initNext++
 		opt.pending = append(opt.pending, u)
 		return u
 	}
@@ -157,6 +181,18 @@ func (opt *Optimizer) Suggest() []float64 {
 func (opt *Optimizer) suggestGP() []float64 {
 	d := opt.Space.D()
 	xs, ys := opt.trainingSet()
+
+	// Constant-liar conditioning: pending (suggested but unobserved)
+	// points enter the training set with a fantasy objective, so a batch
+	// of suggestions spreads out instead of collapsing onto the same
+	// acquisition maximum (Ginsbourger et al.'s CL heuristic).
+	if len(opt.pending) > 0 && len(ys) > 0 {
+		lie := opt.Opts.Liar.value(ys)
+		for _, p := range opt.pending {
+			xs = append(xs, p)
+			ys = append(ys, lie)
+		}
+	}
 
 	// Standardize y for GP stability.
 	my, sy := meanStd(ys)
@@ -172,15 +208,25 @@ func (opt *Optimizer) suggestGP() []float64 {
 	}
 
 	// Hyperparameter handling: marginalize over slice samples or MAP.
+	// The slice-sampling chain is inherently sequential, but the
+	// per-sample clone-and-refit (an O(n³) Cholesky each) fans out
+	// across the worker pool; collection preserves sample order so the
+	// result is identical to the sequential loop.
 	var gps []*gp.GP
 	if opt.Opts.HyperSamples <= 1 {
 		g.FitMAP(opt.rng, 5)
 		gps = []*gp.GP{g}
 	} else {
 		samples := g.SliceSampleHypers(opt.rng, opt.Opts.HyperSamples, 1)
-		for _, h := range samples {
+		refits := make([]*gp.GP, len(samples))
+		parallelFor(opt.Opts.Workers, len(samples), func(i int) {
 			gi := g.Clone()
-			if err := gi.SetHypersAndRefit(h); err == nil {
+			if err := gi.SetHypersAndRefit(samples[i]); err == nil {
+				refits[i] = gi
+			}
+		})
+		for _, gi := range refits {
+			if gi != nil {
 				gps = append(gps, gi)
 			}
 		}
@@ -194,7 +240,7 @@ func (opt *Optimizer) suggestGP() []float64 {
 	// Candidate grid: uniform + Halton + seeds + jittered copies of the
 	// incumbent (Spearmint also includes the current best region).
 	cands := sample.Uniform(opt.rng, opt.Opts.Candidates/2, d)
-	cands = append(cands, sample.HaltonSeq(1+len(opt.obs)*17%1000, opt.Opts.Candidates/4, d)...)
+	cands = append(cands, sample.HaltonSeq(haltonOffset(len(opt.obs)), opt.Opts.Candidates/4, d)...)
 	cands = append(cands, opt.Opts.SeedCandidates...)
 	if bu, _, ok := opt.Best(); ok {
 		for i := 0; i < opt.Opts.Candidates/4; i++ {
@@ -218,25 +264,13 @@ func (opt *Optimizer) suggestGP() []float64 {
 		}
 	}
 
-	mus := make([]float64, len(gps))
-	sigmas := make([]float64, len(gps))
-	score := func(u []float64) float64 {
-		for i, gi := range gps {
-			mu, s2 := gi.Predict(u)
-			mus[i] = mu
-			sigmas[i] = math.Sqrt(s2)
-		}
-		return scoreMarginal(opt.Opts.Acq, mus, sigmas, bestY)
+	if len(cands) == 0 {
+		return sample.Uniform(opt.rng, 1, d)[0]
 	}
-
-	bestU := cands[0]
-	bestScore := math.Inf(-1)
-	for _, c := range cands {
-		if s := score(c); s > bestScore {
-			bestScore = s
-			bestU = c
-		}
-	}
+	sc := scorer{gps: gps, acq: opt.Opts.Acq, bestY: bestY}
+	bi, bestScore := sc.argmax(cands, opt.Opts.Workers)
+	bestU := cands[bi]
+	score := sc.worker()
 
 	// Local coordinate search around the best candidate.
 	cur := append([]float64(nil), bestU...)

@@ -72,6 +72,22 @@ func (s Spec) TotalCores() int { return s.Machines * s.CoresPerMachine }
 // TotalTaskSlots returns the cluster-wide instance capacity.
 func (s Spec) TotalTaskSlots() int { return s.Machines * s.TaskSlotsPerMachine }
 
+// MaxConcurrentTrials reports how many trial deployments, each needing
+// tasksPerTrial task instances, the cluster can host side by side —
+// the capacity bound a batch-suggesting tuner should respect when
+// picking its batch size. At least one trial always fits (the
+// sequential baseline).
+func (s Spec) MaxConcurrentTrials(tasksPerTrial int) int {
+	if tasksPerTrial <= 0 {
+		return 1
+	}
+	n := s.TotalTaskSlots() / tasksPerTrial
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // Placement maps task instances onto machines.
 type Placement struct {
 	Spec Spec

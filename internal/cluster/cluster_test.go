@@ -88,3 +88,17 @@ func TestQuickPlacementConservation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestMaxConcurrentTrials(t *testing.T) {
+	s := Paper() // 80 × 48 = 3840 slots
+	if got := s.MaxConcurrentTrials(100); got != 38 {
+		t.Fatalf("MaxConcurrentTrials(100) = %d, want 38", got)
+	}
+	// A trial bigger than the cluster still gets one sequential slot.
+	if got := s.MaxConcurrentTrials(10000); got != 1 {
+		t.Fatalf("oversized trial should report 1, got %d", got)
+	}
+	if got := s.MaxConcurrentTrials(0); got != 1 {
+		t.Fatalf("degenerate task count should report 1, got %d", got)
+	}
+}

@@ -59,9 +59,18 @@ type BOStrategy struct {
 	set      ParamSet
 	space    *bo.Space
 	opt      *bo.Optimizer
-	pending  []float64
+	pending  []pendingTrial
 	lastDur  time.Duration
 	hintMax  int
+}
+
+// pendingTrial is a suggested-but-unmeasured configuration: the
+// unit-cube point the optimizer proposed and the fingerprint of its
+// decoded configuration, used to pair Observe calls with suggestions
+// when a batch's results arrive out of order.
+type pendingTrial struct {
+	u   []float64
+	key uint64
 }
 
 // NewBO builds a Bayesian-optimization strategy over the given
@@ -189,24 +198,53 @@ func (s *BOStrategy) Name() string { return s.name }
 
 // Next implements Strategy.
 func (s *BOStrategy) Next() (storm.Config, bool) {
-	u := s.opt.Suggest()
+	cfgs, ok := s.NextBatch(1)
+	if !ok {
+		return storm.Config{}, false
+	}
+	return cfgs[0], true
+}
+
+// NextBatch implements BatchStrategy: it asks the optimizer for q
+// constant-liar suggestions that can be deployed concurrently.
+func (s *BOStrategy) NextBatch(q int) ([]storm.Config, bool) {
+	if q <= 0 {
+		return nil, false
+	}
+	us := s.opt.SuggestBatch(q)
 	s.lastDur = s.opt.LastStepDuration
-	s.pending = u
-	return s.decode(u), true
+	cfgs := make([]storm.Config, len(us))
+	for i, u := range us {
+		cfgs[i] = s.decode(u)
+		s.pending = append(s.pending, pendingTrial{u: u, key: cfgs[i].Fingerprint()})
+	}
+	return cfgs, len(cfgs) > 0
 }
 
 // Observe implements Strategy; the objective is measured throughput
 // (zero for failed runs, which teaches the GP to avoid the region).
+// Results of a batch may arrive in any order: the configuration's
+// fingerprint selects the matching pending suggestion, falling back to
+// the oldest one.
 func (s *BOStrategy) Observe(cfg storm.Config, res storm.Result) {
-	if s.pending == nil {
+	if len(s.pending) == 0 {
 		return
 	}
+	idx := 0
+	key := cfg.Fingerprint()
+	for i, p := range s.pending {
+		if p.key == key {
+			idx = i
+			break
+		}
+	}
+	u := s.pending[idx].u
+	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
 	y := res.Throughput
 	if res.Failed {
 		y = 0
 	}
-	s.opt.Observe(s.pending, y)
-	s.pending = nil
+	s.opt.Observe(u, y)
 }
 
 // DecisionTime implements Strategy.

@@ -178,6 +178,124 @@ func TestBOStrategyBatchCCKeepsHints(t *testing.T) {
 	}
 }
 
+func TestTuneBatchRespectsBudgetAndSteps(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	strat := NewBO(tp, cluster.Small(), storm.DefaultSyntheticConfig(tp, 1), fastBOOpts())
+	res := TuneBatch(f, strat, 10, 4, 0, 0)
+	if len(res.Records) != 10 {
+		t.Fatalf("ran %d steps, want exactly the 10-step budget", len(res.Records))
+	}
+	for i, r := range res.Records {
+		if r.Step != i+1 {
+			t.Fatalf("record %d has step %d", i, r.Step)
+		}
+	}
+	if strat.opt.N() != 10 {
+		t.Fatalf("optimizer saw %d observations, want 10", strat.opt.N())
+	}
+}
+
+func TestTuneBatchDeterministic(t *testing.T) {
+	run := func() TuneResult {
+		tp := testTopo()
+		f := testEval(tp)
+		strat := NewBO(tp, cluster.Small(), storm.DefaultSyntheticConfig(tp, 1), fastBOOpts())
+		return TuneBatch(f, strat, 12, 3, 0, 0)
+	}
+	a, b := run(), run()
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i].Result.Throughput != b.Records[i].Result.Throughput {
+			t.Fatalf("step %d throughput differs: %v vs %v", i+1,
+				a.Records[i].Result.Throughput, b.Records[i].Result.Throughput)
+		}
+	}
+}
+
+// TestTuneBatchRegretParity checks the batch engine gives up at most
+// 10% of the sequential optimizer's best objective for the same budget.
+func TestTuneBatchRegretParity(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	budget := 24
+	seq := Tune(f, NewBO(tp, cluster.Small(), storm.DefaultSyntheticConfig(tp, 1), fastBOOpts()), budget, 0, 0)
+	seqBest, ok := seq.Best()
+	if !ok {
+		t.Fatal("sequential run found nothing")
+	}
+	for _, q := range []int{2, 4} {
+		strat := NewBO(tp, cluster.Small(), storm.DefaultSyntheticConfig(tp, 1), fastBOOpts())
+		res := TuneBatch(f, strat, budget, q, 0, 0)
+		best, ok := res.Best()
+		if !ok {
+			t.Fatalf("q=%d found nothing", q)
+		}
+		if best.Result.Throughput < seqBest.Result.Throughput*0.9 {
+			t.Fatalf("q=%d best %v below 90%% of sequential %v",
+				q, best.Result.Throughput, seqBest.Result.Throughput)
+		}
+	}
+}
+
+func TestTuneBatchStopsAfterZeros(t *testing.T) {
+	tp := testTopo()
+	spec := cluster.Spec{Machines: 2, CoresPerMachine: 4, CoreMillisPerSec: 1000,
+		NICBytesPerSec: 128e6, TaskSlotsPerMachine: 4, ThrashTasksPerCore: 4}
+	f := storm.NewFluidSim(tp, spec, storm.SinkTuples, 1)
+	f.Noise = storm.NoNoise()
+	// PLA has no NextBatch; TuneBatch assembles batches via Next and
+	// must still honor the zero-performance stopping rule.
+	res := TuneBatch(f, NewPLA(tp, storm.DefaultSyntheticConfig(tp, 1)), 60, 2, 3, 0)
+	if len(res.Records) >= 60 {
+		t.Fatalf("batch pla should stop early, ran %d steps", len(res.Records))
+	}
+}
+
+func TestBOStrategyObserveOutOfOrder(t *testing.T) {
+	tp := testTopo()
+	strat := NewBO(tp, cluster.Small(), storm.DefaultSyntheticConfig(tp, 1), fastBOOpts())
+	cfgs, ok := strat.NextBatch(3)
+	if !ok || len(cfgs) != 3 {
+		t.Fatalf("NextBatch = %d, %v", len(cfgs), ok)
+	}
+	// Feed results back in reverse: every pending suggestion must be
+	// retired against its own configuration.
+	for i := len(cfgs) - 1; i >= 0; i-- {
+		strat.Observe(cfgs[i], storm.Result{Throughput: float64(100 + i)})
+	}
+	if len(strat.pending) != 0 {
+		t.Fatalf("pending not drained: %d left", len(strat.pending))
+	}
+	if strat.opt.N() != 3 {
+		t.Fatalf("optimizer saw %d observations", strat.opt.N())
+	}
+}
+
+func TestProtocolConcurrencyShape(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	p := Protocol{Steps: 8, Passes: 2, BestReruns: 4, Seed: 1, Concurrency: 2}
+	factory, err := MakeFactory("bo", tp, cluster.Small(), storm.DefaultSyntheticConfig(tp, 1), 1, fastBOOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunProtocol(f, factory, p)
+	if len(out.Passes) != 2 {
+		t.Fatalf("want 2 passes, got %d", len(out.Passes))
+	}
+	for _, pass := range out.Passes {
+		if len(pass.Records) != 8 {
+			t.Fatalf("concurrent pass ran %d steps, want 8", len(pass.Records))
+		}
+	}
+	if out.Summary.N != 4 {
+		t.Fatalf("summary over %d reruns, want 4", out.Summary.N)
+	}
+}
+
 func TestRunProtocolShape(t *testing.T) {
 	tp := testTopo()
 	f := testEval(tp)

@@ -31,6 +31,11 @@ type Protocol struct {
 	StopAfterZeros int
 	// Seed decorrelates passes and noise.
 	Seed int64
+	// Concurrency > 1 dispatches that many trial deployments per round
+	// (constant-liar batches for BO strategies) and evaluates them in
+	// parallel — the concurrent-trials extension; ≤ 1 reproduces the
+	// paper's strictly sequential procedure.
+	Concurrency int
 }
 
 // DefaultProtocol returns the paper's settings.
@@ -82,7 +87,7 @@ func RunProtocol(ev storm.Evaluator, factory StrategyFactory, p Protocol) Outcom
 			out.Strategy = strat.Name()
 		}
 		runOffset := pass * (p.Steps + p.BestReruns + 1000)
-		tr := Tune(ev, strat, p.Steps, p.StopAfterZeros, runOffset)
+		tr := TuneBatch(ev, strat, p.Steps, p.Concurrency, p.StopAfterZeros, runOffset)
 		out.Passes = append(out.Passes, tr)
 		out.StepsToBest = append(out.StepsToBest, tr.BestStep)
 		out.MeanDecisionSec = append(out.MeanDecisionSec, tr.MeanDecisionSeconds())

@@ -7,6 +7,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"stormtune/internal/storm"
@@ -26,6 +27,16 @@ type Strategy interface {
 	// DecisionTime reports how long the last Next call spent choosing
 	// (the Figure 7 metric).
 	DecisionTime() time.Duration
+}
+
+// BatchStrategy is a Strategy that can propose several configurations
+// at once for concurrent trial deployments. Observe must accept the
+// batch's results in any order.
+type BatchStrategy interface {
+	Strategy
+	// NextBatch returns up to q configurations to measure concurrently;
+	// ok is false when the strategy has nothing more to propose.
+	NextBatch(q int) (cfgs []storm.Config, ok bool)
 }
 
 // RunRecord is one completed optimization step.
@@ -88,6 +99,90 @@ func (t TuneResult) MeanDecisionSeconds() float64 {
 		sum += r.Decision
 	}
 	return sum.Seconds() / float64(len(t.Records))
+}
+
+// TuneBatch runs one optimization pass with concurrent trial
+// deployments: per round the strategy proposes up to q configurations
+// (via NextBatch when it implements BatchStrategy, otherwise by calling
+// Next q times) and the evaluator measures them in parallel, one
+// goroutine per trial — both simulators are pure per Run call, and the
+// result depends only on (config, run index), so the pass is
+// deterministic. Records keep sequential step numbers; each record's
+// Decision is the batch decision time amortized over the batch, keeping
+// MeanDecisionSeconds comparable with sequential passes. q ≤ 1 degrades
+// to Tune.
+func TuneBatch(ev storm.Evaluator, strat Strategy, maxSteps, q, stopAfterZeros, runOffset int) TuneResult {
+	if q <= 1 {
+		return Tune(ev, strat, maxSteps, stopAfterZeros, runOffset)
+	}
+	res := TuneResult{Strategy: strat.Name()}
+	zeros := 0
+	best := 0.0
+	step := 1
+	for step <= maxSteps {
+		want := q
+		if rem := maxSteps - step + 1; rem < want {
+			want = rem
+		}
+		cfgs, batchDec, ok := nextBatch(strat, want)
+		if !ok || len(cfgs) == 0 {
+			break
+		}
+		dec := batchDec / time.Duration(len(cfgs))
+		results := make([]storm.Result, len(cfgs))
+		var wg sync.WaitGroup
+		for i := range cfgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = ev.Run(cfgs[i], runOffset+step+i)
+			}(i)
+		}
+		wg.Wait()
+		stop := false
+		for i, r := range results {
+			strat.Observe(cfgs[i], r)
+			res.Records = append(res.Records, RunRecord{Step: step, Config: cfgs[i], Result: r, Decision: dec})
+			if !r.Failed && r.Throughput > best {
+				best = r.Throughput
+				res.BestStep = step
+			}
+			if r.Failed || r.Throughput == 0 {
+				zeros++
+				if stopAfterZeros > 0 && zeros >= stopAfterZeros {
+					stop = true
+				}
+			} else {
+				zeros = 0
+			}
+			step++
+		}
+		if stop {
+			break
+		}
+	}
+	return res
+}
+
+// nextBatch pulls up to q configurations from the strategy, using its
+// native batch interface when available, and reports the total decision
+// time spent assembling the batch.
+func nextBatch(strat Strategy, q int) ([]storm.Config, time.Duration, bool) {
+	if bs, ok := strat.(BatchStrategy); ok {
+		cfgs, ok := bs.NextBatch(q)
+		return cfgs, strat.DecisionTime(), ok
+	}
+	var cfgs []storm.Config
+	var dec time.Duration
+	for i := 0; i < q; i++ {
+		cfg, ok := strat.Next()
+		if !ok {
+			break
+		}
+		dec += strat.DecisionTime()
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs, dec, len(cfgs) > 0
 }
 
 // Tune runs one optimization pass: up to maxSteps evaluations of ev, or

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -56,7 +57,17 @@ func TestTable3(t *testing.T) {
 	}
 }
 
+// skipSlow gates the experiment-protocol tests (each runs full
+// optimization passes) so `go test -short ./...` finishes in seconds.
+func skipSlow(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("skipping slow experiment protocol in -short mode")
+	}
+}
+
 func TestFig3NeverSaturatesNetwork(t *testing.T) {
+	skipSlow(t)
 	r := Fig3(tinyScale())
 	if len(r.Rows) != 4 {
 		t.Fatalf("want 4 topologies, got %d", len(r.Rows))
@@ -77,6 +88,7 @@ func TestFig3NeverSaturatesNetwork(t *testing.T) {
 }
 
 func TestGridRunsAndFiguresRender(t *testing.T) {
+	skipSlow(t)
 	sc := tinyScale()
 	g := GetGrid(sc)
 	if len(g.Cells) != len(topo.Conditions())*len(sc.Sizes)*len(g.Strategies()) {
@@ -100,6 +112,7 @@ func TestGridRunsAndFiguresRender(t *testing.T) {
 }
 
 func TestSundogSeriesAndFig8(t *testing.T) {
+	skipSlow(t)
 	sc := tinyScale()
 	d := GetSundog(sc)
 	for _, label := range []string{"pla.h", "bo.h", "bo.h-bs-bp", "bo.bs-bp-cc"} {
@@ -118,6 +131,7 @@ func TestSundogSeriesAndFig8(t *testing.T) {
 }
 
 func TestRegistryRunAll(t *testing.T) {
+	skipSlow(t)
 	sc := tinyScale()
 	for _, id := range IDs() {
 		var buf bytes.Buffer
@@ -134,6 +148,7 @@ func TestRegistryRunAll(t *testing.T) {
 }
 
 func TestAblationRuns(t *testing.T) {
+	skipSlow(t)
 	sc := tinyScale()
 	sc.Steps = 4
 	sc.BestReruns = 2
@@ -144,6 +159,33 @@ func TestAblationRuns(t *testing.T) {
 	for _, row := range r.Rows {
 		if row[1] == "" || row[1] == "0 [0..0]" {
 			t.Fatalf("variant %s found nothing: %v", row[0], row)
+		}
+	}
+}
+
+func TestBatchScalingReport(t *testing.T) {
+	skipSlow(t)
+	sc := tinyScale()
+	r := BatchScaling(sc)
+	if len(r.Rows) != 3 {
+		t.Fatalf("batch report rows = %d, want 3 (q=1,2,4)", len(r.Rows))
+	}
+	if r.Rows[0][0] != "1" || r.Rows[1][0] != "2" || r.Rows[2][0] != "4" {
+		t.Fatalf("batch sizes wrong: %v", r.Rows)
+	}
+	// Every batch size must find a working configuration, and the
+	// batched runs must stay within 10% of the best result (the
+	// acceptance bound for constant-liar parity).
+	for _, row := range r.Rows {
+		if row[3] == "0" {
+			t.Fatalf("q=%s found nothing: %v", row[0], row)
+		}
+		var regret float64
+		if _, err := fmt.Sscanf(row[4], "%f%%", &regret); err != nil {
+			t.Fatalf("bad regret cell %q: %v", row[4], err)
+		}
+		if regret > 10 {
+			t.Fatalf("q=%s regret %.1f%% exceeds 10%%", row[0], regret)
 		}
 	}
 }

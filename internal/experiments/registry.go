@@ -66,6 +66,7 @@ var Registry = map[string]Runner{
 	"fig8a":    func(sc Scale) []*Report { return []*Report{Fig8a(GetSundog(sc))} },
 	"fig8b":    func(sc Scale) []*Report { return []*Report{Fig8b(GetSundog(sc))} },
 	"ablation": func(sc Scale) []*Report { return []*Report{Ablation(sc)} },
+	"batch":    func(sc Scale) []*Report { return []*Report{BatchScaling(sc)} },
 }
 
 // IDs returns the registered experiment ids, sorted.
