@@ -1,6 +1,7 @@
 package stormtune
 
 import (
+	"context"
 	"fmt"
 
 	"stormtune/internal/cluster"
@@ -133,6 +134,11 @@ func NewBO(t *Topology, spec ClusterSpec, template Config, opts BOOptions) Strat
 }
 
 // Tune runs one optimization pass.
+//
+// Deprecated: build a session with NewTuner (passing the strategy via
+// TunerOptions.Strategy if it is not the built-in optimizer) and call
+// Tuner.Run for cancellation, events and snapshot support. Tune remains
+// as a thin wrapper over the session API.
 func Tune(ev Evaluator, strat Strategy, maxSteps, stopAfterZeros int) TuneResult {
 	return core.Tune(ev, strat, maxSteps, stopAfterZeros, 0)
 }
@@ -141,6 +147,10 @@ func Tune(ev Evaluator, strat Strategy, maxSteps, stopAfterZeros int) TuneResult
 // per round and evaluating them concurrently. BO strategies propose the
 // batch with the constant-liar strategy; q ≤ 1 reproduces Tune. Results
 // are deterministic for a fixed seed.
+//
+// Deprecated: build a session with NewTuner and call Tuner.RunBatch —
+// or Tuner.RunAsync for free-slot refill instead of barrier rounds.
+// TuneBatch remains as a thin wrapper over the session API.
 func TuneBatch(ev Evaluator, strat Strategy, maxSteps, q, stopAfterZeros int) TuneResult {
 	return core.TuneBatch(ev, strat, maxSteps, q, stopAfterZeros, 0)
 }
@@ -156,9 +166,18 @@ func MaxConcurrentTrials(spec ClusterSpec, tasksPerTrial int) int {
 // 2 passes, 30 best-config re-runs).
 func DefaultProtocol() Protocol { return core.DefaultProtocol() }
 
-// RunProtocol executes the full protocol for a strategy family.
+// RunProtocol executes the full protocol for a strategy family. Each
+// pass runs as a tuning session; see RunProtocolContext for a
+// cancellable variant.
 func RunProtocol(ev Evaluator, factory func(pass int) Strategy, p Protocol) Outcome {
 	return core.RunProtocol(ev, core.StrategyFactory(factory), p)
+}
+
+// RunProtocolContext executes the protocol with cancellation: a
+// cancelled ctx stops mid-pass and returns the work completed so far
+// together with ctx's error.
+func RunProtocolContext(ctx context.Context, ev Evaluator, factory func(pass int) Strategy, p Protocol) (Outcome, error) {
+	return core.RunProtocolContext(ctx, ev, core.StrategyFactory(factory), p)
 }
 
 // AutoTuneOptions configure the high-level convenience entry point.
@@ -183,23 +202,27 @@ type AutoTuneOptions struct {
 // AutoTune searches for a good configuration of t against ev with
 // Bayesian optimization and returns the best configuration found along
 // with its measured result.
+//
+// Deprecated: build a session with NewTuner and call Tuner.RunBatch (or
+// Tuner.RunAsync); the session API adds cancellation, events, ask/tell
+// control and snapshot/resume. AutoTune remains as a thin wrapper.
 func AutoTune(t *Topology, ev Evaluator, opts AutoTuneOptions) (Config, Result, error) {
-	if opts.Steps <= 0 {
-		opts.Steps = 60
+	tn, err := NewTuner(t, ev, TunerOptions{
+		Steps:    opts.Steps,
+		Set:      opts.Set,
+		Template: opts.Template,
+		Cluster:  opts.Cluster,
+		Seed:     opts.Seed,
+	})
+	if err != nil {
+		return Config{}, Result{}, err
 	}
-	spec := cluster.Paper()
-	if opts.Cluster != nil {
-		spec = *opts.Cluster
+	if _, err := tn.RunBatch(context.Background(), opts.Parallel); err != nil {
+		return Config{}, Result{}, err
 	}
-	template := storm.DefaultConfig(t, 1)
-	if opts.Template != nil {
-		template = opts.Template.Clone()
-	}
-	strat := core.NewBO(t, spec, template, core.BOOptions{Set: opts.Set, Seed: opts.Seed})
-	tr := core.TuneBatch(ev, strat, opts.Steps, opts.Parallel, 0, 0)
-	best, ok := tr.Best()
+	best, ok := tn.Best()
 	if !ok {
-		return Config{}, Result{}, fmt.Errorf("stormtune: no successful run in %d steps", opts.Steps)
+		return Config{}, Result{}, fmt.Errorf("stormtune: no successful run in %d steps", tn.opts.Steps)
 	}
 	return best.Config, best.Result, nil
 }

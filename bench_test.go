@@ -15,6 +15,7 @@ package stormtune_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -81,6 +82,14 @@ func BenchmarkFig8b(b *testing.B) { benchExperiment(b, "fig8b") }
 // BenchmarkAblation runs the optimizer-design ablation (acquisition
 // function, hyperparameter marginalization, candidate seeding).
 func BenchmarkAblation(b *testing.B) { benchExperiment(b, "ablation") }
+
+// BenchmarkBatchScaling regenerates the concurrent-trials report.
+func BenchmarkBatchScaling(b *testing.B) { benchExperiment(b, "batch") }
+
+// BenchmarkAsyncScaling regenerates the dispatch-mode report
+// (sequential vs barrier batch vs free-slot refill under heavy-tailed
+// trial durations).
+func BenchmarkAsyncScaling(b *testing.B) { benchExperiment(b, "async") }
 
 // BenchmarkFluidSolve measures one simulated measurement run of the
 // medium topology — the objective-function evaluation inside every
@@ -195,6 +204,33 @@ func BenchmarkTuneBatch(b *testing.B) {
 			Opt:  bo.Options{Candidates: 150, HyperSamples: 2, LocalSearchIters: 4},
 		})
 		res := stormtune.TuneBatch(ev, strat, 12, 4, 0)
+		if len(res.Records) == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+// BenchmarkTunerRunAsync measures a full free-slot-refill session
+// (q=4) on the fluid evaluator — the async counterpart of
+// BenchmarkTuneBatch.
+func BenchmarkTunerRunAsync(b *testing.B) {
+	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+	spec := stormtune.SmallCluster()
+	template := stormtune.DefaultSyntheticConfig(t, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := stormtune.NewFluidSim(t, spec, stormtune.SinkTuples, 1)
+		tn, err := stormtune.NewTuner(t, ev, stormtune.TunerOptions{
+			Steps: 12, Seed: int64(i + 1), Template: &template, Cluster: &spec,
+			Candidates: 150, HyperSamples: 2, LocalSearchIters: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tn.RunAsync(context.Background(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.Records) == 0 {
 			b.Fatal("no records")
 		}

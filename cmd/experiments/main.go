@@ -7,11 +7,13 @@
 //	experiments [-full] [-all] [id ...]
 //
 // Ids: table2, table3, fig3, fig4, fig5, fig6, fig7, fig8a, fig8b,
-// ablation. With -full the paper's protocol (60/180 steps, 2 passes,
-// 30 re-runs, all three sizes) runs; the default is a reduced scale
-// that preserves the qualitative shapes. Env knobs for -full:
-// STORMTUNE_BO180=0 drops the 180-step strategy, STORMTUNE_FAST_GRID=1
-// keeps the protocol but bounds the optimizer's candidate budget.
+// ablation, batch (concurrent trials) and async (sequential vs barrier
+// batch vs free-slot refill under heavy-tailed trial durations). With
+// -full the paper's protocol (60/180 steps, 2 passes, 30 re-runs, all
+// three sizes) runs; the default is a reduced scale that preserves the
+// qualitative shapes. Env knobs for -full: STORMTUNE_BO180=0 drops the
+// 180-step strategy, STORMTUNE_FAST_GRID=1 keeps the protocol but
+// bounds the optimizer's candidate budget.
 package main
 
 import (

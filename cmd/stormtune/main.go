@@ -5,25 +5,34 @@
 //
 //	stormtune [-topology small|medium|large|sundog] [-spec file.json]
 //	          [-strategy pla|ipla|bo|ibo] [-steps N] [-parallel Q]
-//	          [-params h|h-bs-bp|bs-bp-cc] [-tiim X] [-contention X]
-//	          [-samples K] [-seed N]
+//	          [-async] [-timeout D] [-params h|h-bs-bp|bs-bp-cc]
+//	          [-tiim X] [-contention X] [-samples K] [-seed N] [-quiet]
+//
+// The run is a tuning session: -timeout bounds its wall-clock (the best
+// configuration found so far is reported when the deadline hits, and
+// Ctrl-C does the same), -parallel evaluates that many trial
+// deployments concurrently, and -async switches the concurrent
+// dispatch from barrier batches to free-slot refill (a replacement
+// trial starts the moment any in-flight one completes — faster when
+// trial durations vary). A live progress line tracks completed trials
+// and the best throughput so far.
 //
 // -spec loads a user topology from a JSON file (see examples/customtopo
 // for the schema); -samples averages K measurements per configuration
 // (the §VI noise-reduction proposal). See examples/resume for pausing
-// and resuming an optimization run (the Spearmint feature the paper's
-// setup relied on).
+// and resuming a session via snapshots (the Spearmint feature the
+// paper's setup relied on).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
-	"stormtune/internal/bo"
-	"stormtune/internal/cluster"
-	"stormtune/internal/core"
-	"stormtune/internal/storm"
+	"stormtune"
 	"stormtune/internal/topo"
 )
 
@@ -37,11 +46,14 @@ func main() {
 	cont := flag.Float64("contention", 0, "contentious fraction for synthetic topologies")
 	seed := flag.Int64("seed", 1, "random seed")
 	samples := flag.Int("samples", 1, "measurements to average per configuration (§VI future work)")
-	parallel := flag.Int("parallel", 1, "concurrent trial deployments per round (constant-liar batches)")
+	parallel := flag.Int("parallel", 1, "concurrent trial deployments")
+	async := flag.Bool("async", false, "free-slot refill instead of barrier batches (with -parallel > 1)")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget for the session (0 = none)")
+	quiet := flag.Bool("quiet", false, "suppress the live progress line")
 	flag.Parse()
 
-	var t *topo.Topology
-	metric := storm.SinkTuples
+	var t *stormtune.Topology
+	metric := stormtune.SinkTuples
 	switch {
 	case *spec != "":
 		var err error
@@ -51,61 +63,119 @@ func main() {
 			os.Exit(1)
 		}
 	case *topoName == "sundog":
-		t = topo.Sundog()
-		metric = storm.SourceTuples
+		t = stormtune.Sundog()
+		metric = stormtune.SourceTuples
 	default:
-		t = topo.BuildSynthetic(*topoName, topo.Condition{TimeImbalance: *tiim, ContentiousFraction: *cont}, *seed)
+		t = stormtune.BuildSynthetic(*topoName, stormtune.Condition{TimeImbalance: *tiim, ContentiousFraction: *cont}, *seed)
 	}
-	clusterSpec := cluster.Paper()
-	var ev storm.Evaluator = storm.NewFluidSim(t, clusterSpec, metric, *seed)
+	clusterSpec := stormtune.PaperCluster()
+	var ev stormtune.Evaluator = stormtune.NewFluidSim(t, clusterSpec, metric, *seed)
 	if *samples > 1 {
-		ev = storm.Averaged(ev, *samples)
+		ev = stormtune.Averaged(ev, *samples)
 	}
 
-	var template storm.Config
+	var template stormtune.Config
 	if *topoName == "sundog" {
-		template = storm.DefaultConfig(t, 11)
+		template = stormtune.DefaultConfig(t, 11)
 	} else {
-		template = storm.DefaultSyntheticConfig(t, 1)
+		template = stormtune.DefaultSyntheticConfig(t, 1)
 	}
 
-	set := core.Hints
+	set := stormtune.Hints
 	switch *params {
 	case "h":
 	case "h-bs-bp":
-		set = core.HintsBatch
+		set = stormtune.HintsBatch
 	case "bs-bp-cc":
-		set = core.BatchCC
+		set = stormtune.BatchCC
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -params %q\n", *params)
 		os.Exit(2)
 	}
 
-	var strat core.Strategy
-	stopZeros := 0
+	opts := stormtune.TunerOptions{
+		Steps:       *steps,
+		Set:         set,
+		Template:    &template,
+		Cluster:     &clusterSpec,
+		Seed:        *seed,
+		MaxGPPoints: 60,
+	}
 	switch *strategy {
 	case "pla":
-		strat = core.NewPLA(t, template)
-		stopZeros = 3
+		opts.Strategy = stormtune.NewPLA(t, template)
+		opts.StopAfterZeros = 3
 	case "ipla":
-		strat = core.NewIPLA(t, template)
-		stopZeros = 3
+		opts.Strategy = stormtune.NewIPLA(t, template)
+		opts.StopAfterZeros = 3
 	case "bo":
-		strat = core.NewBO(t, clusterSpec, template, core.BOOptions{Set: set, Seed: *seed, Opt: bo.Options{MaxGPPoints: 60}})
 	case "ibo":
-		strat = core.NewBO(t, clusterSpec, template, core.BOOptions{Set: core.InformedHints, Seed: *seed, Opt: bo.Options{MaxGPPoints: 60}})
+		opts.Set = stormtune.InformedHints
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -strategy %q\n", *strategy)
 		os.Exit(2)
 	}
 
-	if *parallel > 1 {
-		fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps, %d concurrent trials...\n",
-			t.Name, t.N(), strat.Name(), *steps, *parallel)
-	} else {
-		fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps...\n", t.Name, t.N(), strat.Name(), *steps)
+	// Live progress from the session's event stream.
+	var completed int
+	var bestSoFar float64
+	opts.Observer = stormtune.ObserverFunc(func(e stormtune.Event) {
+		switch ev := e.(type) {
+		case stormtune.NewBest:
+			bestSoFar = ev.Result.Throughput
+		case stormtune.TrialCompleted:
+			completed++
+			if !*quiet {
+				fmt.Printf("\rtrial %3d/%d   best %12.0f tuples/s", completed, *steps, bestSoFar)
+			}
+		case stormtune.ParallelismClamped:
+			fmt.Fprintf(os.Stderr, "\nnote: -parallel %d exceeds cluster capacity, clamped to %d\n",
+				ev.Requested, ev.Allowed)
+		}
+	})
+
+	tn, err := stormtune.NewTuner(t, ev, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
 	}
-	tr := core.TuneBatch(ev, strat, *steps, *parallel, stopZeros, 0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	mode := "sequential"
+	switch {
+	case *async && *parallel > 1:
+		mode = fmt.Sprintf("async free-slot refill, %d slots", *parallel)
+	case *parallel > 1:
+		mode = fmt.Sprintf("barrier batches of %d", *parallel)
+	}
+	name := *strategy
+	if opts.Strategy != nil {
+		name = opts.Strategy.Name()
+	}
+	fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps (%s)...\n",
+		t.Name, t.N(), name, *steps, mode)
+
+	start := time.Now()
+	var tr stormtune.TuneResult
+	if *async && *parallel > 1 {
+		tr, err = tn.RunAsync(ctx, *parallel)
+	} else {
+		tr, err = tn.RunBatch(ctx, *parallel)
+	}
+	if !*quiet {
+		fmt.Println()
+	}
+	if err != nil {
+		fmt.Printf("session stopped early after %s (%v); reporting best so far\n",
+			time.Since(start).Round(time.Millisecond), err)
+	}
 	best, ok := tr.Best()
 	if !ok {
 		fmt.Fprintln(os.Stderr, "no successful run")

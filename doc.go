@@ -12,7 +12,7 @@
 //     receiver threads, scheduler capacity and measurement noise;
 //   - a from-scratch Gaussian-process Bayesian optimizer in the style
 //     of Spearmint (Matérn-5/2 ARD kernel, slice-sampled
-//     hyperparameters, Expected Improvement), with pause/resume;
+//     hyperparameters, Expected Improvement);
 //   - the GGen layer-by-layer topology generator and the paper's
 //     synthetic workload modifications (time imbalance, resource
 //     contention), plus the Sundog real-world topology;
@@ -21,8 +21,61 @@
 //     experimental protocol (passes, early stopping, best-config
 //     re-runs);
 //   - an experiment harness regenerating every table and figure of the
-//     evaluation (Table II, Figures 3–8), plus a concurrent-trials
-//     scaling experiment ("batch").
+//     evaluation (Table II, Figures 3–8), plus concurrent-trials
+//     ("batch") and dispatch-mode ("async") scaling experiments.
+//
+// # Tuning sessions
+//
+// The paper's workflow is a long-running, interruptible session — §III-C
+// notes that Spearmint's pause/resume "turned out to be important" on
+// the shared lab cluster — and the API is built around that shape. A
+// Tuner is an ask/tell session: Propose hands out Trials, the caller
+// measures them however it wants (the bundled simulators, or a real
+// cluster the library does not control), and Report feeds the results
+// back:
+//
+//	tn, _ := stormtune.NewTuner(t, nil, stormtune.TunerOptions{Steps: 60})
+//	for {
+//		trials, _ := tn.Propose(ctx)
+//		if len(trials) == 0 {
+//			break
+//		}
+//		for _, tr := range trials {
+//			tn.Report(tr, measure(tr.Config)) // your cluster here
+//		}
+//	}
+//	best, _ := tn.Best()
+//
+// Three drivers automate the loop against a configured Evaluator, all
+// honoring context cancellation and deadlines:
+//
+//   - Tuner.Run(ctx) — one trial at a time, the paper's procedure;
+//   - Tuner.RunBatch(ctx, q) — barrier batches of q concurrently
+//     evaluated constant-liar suggestions; every round waits for its
+//     slowest trial;
+//   - Tuner.RunAsync(ctx, q) — free-slot refill: up to q trials in
+//     flight and a replacement proposed the moment any one completes,
+//     which beats the barrier wall-clock when trial durations vary
+//     (real deployments have stragglers). q is clamped to
+//     ClusterSpec.MaxConcurrentTrials rather than oversubscribing.
+//
+// Sessions emit typed events (TrialStarted, TrialCompleted, NewBest,
+// PassCompleted, ParallelismClamped) to a registered Observer — the CLI
+// renders its live progress line from them — and can be paused at any
+// point: Tuner.Snapshot serializes the records, pending trials and
+// ask/tell log; ResumeTuner replays that log against a freshly built
+// optimizer so the resumed run continues bit-identically to an
+// uninterrupted one, RNG state included.
+//
+// Quick start with a driver:
+//
+//	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+//	ev := stormtune.NewFluidSim(t, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
+//	tn, _ := stormtune.NewTuner(t, ev, stormtune.TunerOptions{Steps: 60})
+//	res, _ := tn.RunAsync(ctx, 4)
+//
+// The one-shot entry points Tune, TuneBatch and AutoTune remain as thin
+// deprecated wrappers over the session API.
 //
 // # Concurrent trials
 //
@@ -33,20 +86,13 @@
 // is conditioned into the surrogate with a fantasy objective (the worst
 // observed value by default), so the acquisition spreads the batch over
 // the landscape instead of proposing the same maximum q times. The BO
-// strategies expose this through core.BatchStrategy, TuneBatch
-// evaluates a batch's trials concurrently, Protocol.Concurrency and
-// AutoTuneOptions.Parallel plumb it through the experiment procedure,
-// and ClusterSpec.MaxConcurrentTrials bounds a sensible q. Internally
-// the acquisition candidate grid and the per-hyper-sample GP refits are
+// strategies expose this through core.BatchStrategy, and
+// ClusterSpec.MaxConcurrentTrials bounds a sensible q. Internally the
+// acquisition candidate grid and the per-hyper-sample GP refits are
 // scored by a worker pool (Options.Workers); results are bit-identical
 // for any worker count and fixed seed.
 //
-// Quick start:
-//
-//	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
-//	ev := stormtune.NewFluidSim(t, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
-//	cfg, res, err := stormtune.AutoTune(t, ev, stormtune.AutoTuneOptions{Steps: 30, Parallel: 4})
-//
-// See the examples directory for runnable programs and DESIGN.md for
-// the mapping between paper artifacts and modules.
+// See the examples directory for runnable programs (examples/quickstart
+// for the session API, examples/resume for snapshot/resume) and
+// DESIGN.md for the mapping between paper artifacts and modules.
 package stormtune

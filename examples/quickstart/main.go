@@ -1,9 +1,12 @@
-// Quickstart: build a small synthetic topology, let Bayesian
-// optimization pick its parallelism hints on the simulated 80-machine
-// cluster, and compare against the naive parallel-linear baseline.
+// Quickstart: tune a small synthetic topology on the simulated
+// 80-machine cluster through the session API — first with the
+// hands-off async driver, then driving the ask/tell loop by hand (the
+// workflow for tuning a real external cluster the library does not
+// control).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,16 +23,43 @@ func main() {
 	// measured tuples/s out.
 	ev := stormtune.NewFluidSim(top, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
 
-	// Baseline: parallel linear ascent (all hints equal, increasing).
-	pla := stormtune.Tune(ev, stormtune.NewPLA(top, stormtune.DefaultSyntheticConfig(top, 1)), 30, 3)
-	plaBest, _ := pla.Best()
-	fmt.Printf("pla best:  %8.0f tuples/s at step %d\n", plaBest.Result.Throughput, pla.BestStep)
-
-	// Bayesian optimization over per-node hints plus max-tasks.
-	cfg, res, err := stormtune.AutoTune(top, ev, stormtune.AutoTuneOptions{Steps: 30, Seed: 3})
+	// Driver mode: a session with free-slot async dispatch (4 trials in
+	// flight; a replacement starts the moment any one completes).
+	tn, err := stormtune.NewTuner(top, ev, stormtune.TunerOptions{Steps: 30, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("bo best:   %8.0f tuples/s (bottleneck: %s)\n", res.Throughput, res.Bottleneck)
-	fmt.Printf("bo hints:  %v (max-tasks %d)\n", cfg.NormalizedHints(), cfg.MaxTasks)
+	res, err := tn.RunAsync(context.Background(), 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, _ := res.Best()
+	fmt.Printf("driver best:   %8.0f tuples/s at step %d (bottleneck: %s)\n",
+		best.Result.Throughput, res.BestStep, best.Result.Bottleneck)
+
+	// Ask/tell mode: the tuner proposes, we evaluate however we want
+	// and report back — swap ev.Run for a deployment on real hardware.
+	askTell, err := stormtune.NewTuner(top, nil, stormtune.TunerOptions{Steps: 15, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	for {
+		trials, err := askTell.Propose(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(trials) == 0 {
+			break
+		}
+		for _, tr := range trials {
+			measurement := ev.Run(tr.Config, tr.RunIndex) // your cluster here
+			if err := askTell.Report(tr, measurement); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	atBest, _ := askTell.Best()
+	fmt.Printf("ask/tell best: %8.0f tuples/s, hints %v (max-tasks %d)\n",
+		atBest.Result.Throughput, atBest.Config.NormalizedHints(), atBest.Config.MaxTasks)
 }

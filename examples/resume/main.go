@@ -1,58 +1,78 @@
-// Resume: demonstrate pausing and resuming a Bayesian-optimization run
-// via serialized state — the Spearmint feature that "turned out to be
-// important" for the paper's shared student-lab cluster (§III-C).
+// Resume: pause and resume a tuning session via serialized snapshots —
+// the Spearmint feature that "turned out to be important" for the
+// paper's shared student-lab cluster (§III-C), here through the public
+// Tuner API (no internal packages needed).
+//
+// A session is cancelled mid-run ("the lab closes"), snapshotted to
+// disk, loaded by a fresh process, and resumed. The resume replays the
+// session's ask/tell log against a freshly built optimizer, so the
+// continued run is bit-identical to one that was never interrupted —
+// no cluster time wasted re-sampling, no evidence lost.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
 	"os"
 	"path/filepath"
 
-	"stormtune/internal/bo"
+	"stormtune"
 )
 
-// objective is an expensive black box standing in for a cluster run.
-func objective(x []float64) float64 {
-	return -(x[0]-0.3)*(x[0]-0.3) - (x[1]-0.7)*(x[1]-0.7) + 0.05*math.Sin(20*x[0])
-}
-
 func main() {
-	space := bo.MustSpace(
-		bo.Dim{Name: "x", Kind: bo.Float, Min: 0, Max: 1},
-		bo.Dim{Name: "y", Kind: bo.Float, Min: 0, Max: 1},
-	)
+	top := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+	newEval := func() stormtune.Evaluator {
+		return stormtune.NewFluidSim(top, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
+	}
+	opts := stormtune.TunerOptions{Steps: 25, Seed: 5}
 	statePath := filepath.Join(os.TempDir(), "stormtune-resume-example.json")
 	defer os.Remove(statePath)
 
-	// Phase 1: run ten steps, then "the lab closes" — save and exit.
-	opt := bo.NewOptimizer(space, bo.Options{Seed: 5})
-	for i := 0; i < 10; i++ {
-		u := opt.Suggest()
-		opt.Observe(u, objective(u))
-	}
-	_, y1, _ := opt.Best()
-	if err := opt.Snapshot().SaveFile(statePath); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("phase 1: 10 steps, best %.4f — state saved to %s\n", y1, statePath)
-
-	// Phase 2: a new process resumes from the snapshot and continues.
-	st, err := bo.LoadStateFile(statePath)
+	// Phase 1: run until "the lab closes" after 10 trials — cancel the
+	// context from the event stream, snapshot, save and exit.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := 0
+	opts.Observer = stormtune.ObserverFunc(func(e stormtune.Event) {
+		if _, ok := e.(stormtune.TrialCompleted); ok {
+			if done++; done == 10 {
+				cancel()
+			}
+		}
+	})
+	tn, err := stormtune.NewTuner(top, newEval(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resumed := bo.Resume(st, bo.Options{})
-	fmt.Printf("phase 2: resumed with %d observations\n", resumed.N())
-	for i := 0; i < 15; i++ {
-		u := resumed.Suggest()
-		resumed.Observe(u, objective(u))
+	if _, err := tn.Run(ctx); err == nil {
+		log.Fatal("expected the run to be interrupted")
 	}
-	_, y2, _ := resumed.Best()
-	fmt.Printf("phase 2: 15 more steps, best %.4f (true optimum ≈ 0.05)\n", y2)
-	if y2 < y1 {
+	best1, _ := tn.Best()
+	if err := tn.Snapshot().SaveFile(statePath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1: interrupted after %d trials, best %.0f tuples/s — state saved to %s\n",
+		done, best1.Result.Throughput, statePath)
+
+	// Phase 2: a new process loads the snapshot and finishes the budget.
+	st, err := stormtune.LoadTunerStateFile(statePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resumed, err := stormtune.ResumeTuner(st, top, newEval(), stormtune.TunerOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 2: resumed with %d completed trials\n", len(resumed.Result().Records))
+	res, err := resumed.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best2, _ := res.Best()
+	fmt.Printf("phase 2: finished the %d-step budget, best %.0f tuples/s at step %d\n",
+		len(res.Records), best2.Result.Throughput, res.BestStep)
+	if best2.Result.Throughput < best1.Result.Throughput {
 		log.Fatal("resume lost progress")
 	}
-	fmt.Println("resume preserved all evidence — no cluster time wasted re-sampling.")
+	fmt.Println("resume preserved all evidence — the continued run is bit-identical to an uninterrupted one.")
 }

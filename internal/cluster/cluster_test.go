@@ -102,3 +102,33 @@ func TestMaxConcurrentTrials(t *testing.T) {
 		t.Fatalf("degenerate task count should report 1, got %d", got)
 	}
 }
+
+func TestMaxConcurrentTrialsEdgeCases(t *testing.T) {
+	s := Spec{Machines: 2, CoresPerMachine: 4, CoreMillisPerSec: 1000,
+		NICBytesPerSec: 1, TaskSlotsPerMachine: 8, ThrashTasksPerCore: 2} // 16 slots
+	cases := []struct {
+		tasksPerTrial, want int
+		why                 string
+	}{
+		{-5, 1, "negative task count degrades to the sequential baseline"},
+		{0, 1, "zero task count degrades to the sequential baseline"},
+		{16, 1, "exact-fit single trial occupies the whole cluster"},
+		{17, 1, "trial larger than the cluster still gets one sequential slot"},
+		{8, 2, "exact-fit boundary: two trials pack with no slack"},
+		{7, 2, "just under the boundary must not round up to 3"},
+		{5, 3, "16/5 truncates to 3"},
+		{1, 16, "one-task trials fill every slot"},
+	}
+	for _, c := range cases {
+		if got := s.MaxConcurrentTrials(c.tasksPerTrial); got != c.want {
+			t.Errorf("MaxConcurrentTrials(%d) = %d, want %d: %s", c.tasksPerTrial, got, c.want, c.why)
+		}
+	}
+	// The bound never exceeds the slot count and is always ≥ 1.
+	for tasks := -2; tasks <= 20; tasks++ {
+		got := s.MaxConcurrentTrials(tasks)
+		if got < 1 || got > s.TotalTaskSlots() {
+			t.Fatalf("MaxConcurrentTrials(%d) = %d out of [1, %d]", tasks, got, s.TotalTaskSlots())
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import "stormtune/internal/storm"
+
+// Event is a typed notification emitted by a tuning session. The
+// concrete types are TrialStarted, TrialCompleted, NewBest,
+// PassCompleted and ParallelismClamped; switch on them to react to the
+// ones of interest.
+type Event interface{ sessionEvent() }
+
+// TrialStarted reports that a trial has been handed out for evaluation
+// (by Propose or one of the drivers).
+type TrialStarted struct {
+	Trial Trial
+}
+
+// TrialCompleted reports that a trial's measurement was fed back into
+// the session.
+type TrialCompleted struct {
+	Trial  Trial
+	Result storm.Result
+}
+
+// NewBest reports that a completed trial improved on the best
+// throughput seen so far in this session.
+type NewBest struct {
+	Trial  Trial
+	Result storm.Result
+}
+
+// PassCompleted reports that a driver (Run, RunBatch, RunAsync) has
+// finished — the budget is spent, the strategy is exhausted, the
+// zero-performance stopping rule fired, or the context was cancelled.
+type PassCompleted struct {
+	// Steps is the number of completed (reported) trials.
+	Steps int
+	// Best is the winning record; Found is false when every run failed.
+	Best  RunRecord
+	Found bool
+}
+
+// ParallelismClamped reports that a driver reduced its requested
+// parallelism to the cluster's concurrent-trial capacity instead of
+// oversubscribing it.
+type ParallelismClamped struct {
+	Requested int
+	Allowed   int
+}
+
+func (TrialStarted) sessionEvent()       {}
+func (TrialCompleted) sessionEvent()     {}
+func (NewBest) sessionEvent()            {}
+func (PassCompleted) sessionEvent()      {}
+func (ParallelismClamped) sessionEvent() {}
+
+// Observer receives session events. Callbacks are invoked synchronously
+// from the goroutine driving the session (for the built-in drivers, one
+// goroutine), in emission order; they must not block for long and may
+// call Session.Snapshot but no other session methods.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }

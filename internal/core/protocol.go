@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -36,6 +37,12 @@ type Protocol struct {
 	// parallel — the concurrent-trials extension; ≤ 1 reproduces the
 	// paper's strictly sequential procedure.
 	Concurrency int
+	// Async switches the concurrent dispatch from barrier batches to
+	// free-slot refill (a replacement trial starts the moment any
+	// in-flight one completes). Only meaningful with Concurrency > 1.
+	Async bool
+	// Observer, when set, receives each pass's session events.
+	Observer Observer
 }
 
 // DefaultProtocol returns the paper's settings.
@@ -70,6 +77,16 @@ type Outcome struct {
 
 // RunProtocol executes the protocol for one strategy family.
 func RunProtocol(ev storm.Evaluator, factory StrategyFactory, p Protocol) Outcome {
+	out, _ := RunProtocolContext(context.Background(), ev, factory, p)
+	return out
+}
+
+// RunProtocolContext executes the protocol with cancellation: each pass
+// runs as a tuning session honoring ctx, and a cancelled protocol
+// returns the passes (and partial pass) completed so far together with
+// ctx's error. The re-runs of the winning configuration are skipped on
+// cancellation.
+func RunProtocolContext(ctx context.Context, ev storm.Evaluator, factory StrategyFactory, p Protocol) (Outcome, error) {
 	if p.Steps <= 0 {
 		p.Steps = 60
 	}
@@ -87,7 +104,19 @@ func RunProtocol(ev storm.Evaluator, factory StrategyFactory, p Protocol) Outcom
 			out.Strategy = strat.Name()
 		}
 		runOffset := pass * (p.Steps + p.BestReruns + 1000)
-		tr := TuneBatch(ev, strat, p.Steps, p.Concurrency, p.StopAfterZeros, runOffset)
+		sess := NewSession(strat, ev, SessionOptions{
+			MaxSteps:       p.Steps,
+			StopAfterZeros: p.StopAfterZeros,
+			RunOffset:      runOffset,
+			Observer:       p.Observer,
+		})
+		var tr TuneResult
+		var err error
+		if p.Async && p.Concurrency > 1 {
+			tr, err = sess.RunAsync(ctx, p.Concurrency)
+		} else {
+			tr, err = sess.RunBatch(ctx, p.Concurrency)
+		}
 		out.Passes = append(out.Passes, tr)
 		out.StepsToBest = append(out.StepsToBest, tr.BestStep)
 		out.MeanDecisionSec = append(out.MeanDecisionSec, tr.MeanDecisionSeconds())
@@ -96,9 +125,12 @@ func RunProtocol(ev storm.Evaluator, factory StrategyFactory, p Protocol) Outcom
 			out.BestPass = pass
 			out.BestConfig = best.Config
 		}
+		if err != nil {
+			return out, err
+		}
 	}
-	if out.BestPass < 0 {
-		return out
+	if out.BestPass < 0 || ctx.Err() != nil {
+		return out, ctx.Err()
 	}
 	// Re-run the winning configuration. Both simulators are pure per
 	// Run call, so the re-runs fan out across cores; results stay
@@ -119,7 +151,7 @@ func RunProtocol(ev storm.Evaluator, factory StrategyFactory, p Protocol) Outcom
 	wg.Wait()
 	out.Summary = stats.Summarize(vals)
 	out.RerunSamples = vals
-	return out
+	return out, ctx.Err()
 }
 
 // StrategySet names the strategy families of Figure 4.

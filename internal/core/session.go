@@ -1,0 +1,360 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"stormtune/internal/scheduler"
+	"stormtune/internal/storm"
+)
+
+// Trial is one proposed-but-not-yet-reported configuration evaluation.
+// ID is the 1-based issue order within the session and doubles as the
+// record step; RunIndex is the evaluator run index the trial must be
+// measured with so that repeated measurements and resumed sessions draw
+// the same noise.
+type Trial struct {
+	ID       int
+	Config   storm.Config
+	RunIndex int
+	// Decision is the optimizer decision time attributed to this trial
+	// (a batch's decision time amortized over the batch).
+	Decision time.Duration
+}
+
+// SessionOptions configure a tuning session.
+type SessionOptions struct {
+	// MaxSteps is the evaluation budget — the total number of trials the
+	// session will issue (default 60).
+	MaxSteps int
+	// StopAfterZeros stops the session after this many consecutive
+	// zero-performance reports; 0 disables.
+	StopAfterZeros int
+	// RunOffset shifts evaluator run indices (protocol passes use it to
+	// decorrelate noise draws between passes).
+	RunOffset int
+	// Observer receives the session's typed events; nil disables.
+	Observer Observer
+}
+
+// ErrNoEvaluator is returned by the drivers of a session constructed
+// without an evaluator (pure ask/tell use).
+var ErrNoEvaluator = errors.New("core: session has no evaluator; drive it via Propose/Report")
+
+// Session is an interruptible ask/tell tuning run: Propose hands out
+// trials, Report feeds measurements back, and the Run/RunBatch/RunAsync
+// drivers automate the loop against an evaluator. All methods are safe
+// for concurrent use; the built-in drivers call Propose and Report from
+// a single goroutine so their event order and results are deterministic
+// for a fixed seed (RunAsync: fixed seed and completion order).
+type Session struct {
+	mu    sync.Mutex
+	strat Strategy
+	ev    storm.Evaluator
+	opts  SessionOptions
+
+	issued    int
+	records   []RunRecord
+	pending   []Trial
+	ops       []SessionOp
+	zeros     int
+	best      float64
+	bestStep  int
+	stopped   bool
+	exhausted bool
+}
+
+// NewSession starts a session for a strategy. ev may be nil when the
+// caller drives evaluations itself through Propose/Report — e.g.
+// against a real external cluster.
+func NewSession(strat Strategy, ev storm.Evaluator, opts SessionOptions) *Session {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = 60
+	}
+	return &Session{strat: strat, ev: ev, opts: opts}
+}
+
+// Strategy returns the session's strategy.
+func (s *Session) Strategy() Strategy { return s.strat }
+
+// emit dispatches events outside the state lock, preserving the order
+// they were produced in (drivers emit from one goroutine).
+func (s *Session) emit(evs ...Event) {
+	if s.opts.Observer == nil {
+		return
+	}
+	for _, e := range evs {
+		s.opts.Observer.OnEvent(e)
+	}
+}
+
+// Emit forwards an event to the session's observer; the drivers layered
+// on top (and the public Tuner) use it for their own notifications.
+func (s *Session) Emit(e Event) { s.emit(e) }
+
+// Propose asks the strategy for up to n new trials. It returns fewer —
+// possibly none — when the remaining budget is smaller, the strategy is
+// exhausted, or the zero-performance stopping rule has fired; an empty
+// result with a nil error means the session has nothing left to
+// propose. The only error is ctx's.
+func (s *Session) Propose(ctx context.Context, n int) ([]Trial, error) {
+	return s.propose(ctx, n, false)
+}
+
+// ProposeFill asks for enough new trials to top the in-flight set up to
+// fill. The free-slot computation happens under the session lock, so
+// concurrent callers cannot jointly over-issue past fill.
+func (s *Session) ProposeFill(ctx context.Context, fill int) ([]Trial, error) {
+	return s.propose(ctx, fill, true)
+}
+
+func (s *Session) propose(ctx context.Context, n int, fillPending bool) ([]Trial, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.stopped || s.exhausted {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	if fillPending {
+		n -= len(s.pending)
+	}
+	if rem := s.opts.MaxSteps - s.issued; n > rem {
+		n = rem
+	}
+	if n <= 0 {
+		s.mu.Unlock()
+		return nil, nil
+	}
+	cfgs, dec, ok := nextBatch(s.strat, n)
+	if !ok || len(cfgs) == 0 {
+		s.exhausted = true
+		s.mu.Unlock()
+		return nil, nil
+	}
+	per := dec / time.Duration(len(cfgs))
+	trials := make([]Trial, len(cfgs))
+	evs := make([]Event, len(cfgs))
+	for i, cfg := range cfgs {
+		s.issued++
+		trials[i] = Trial{ID: s.issued, Config: cfg, RunIndex: s.opts.RunOffset + s.issued, Decision: per}
+		evs[i] = TrialStarted{Trial: trials[i]}
+	}
+	s.pending = append(s.pending, trials...)
+	s.ops = append(s.ops, SessionOp{Ask: len(cfgs)})
+	s.mu.Unlock()
+	s.emit(evs...)
+	return trials, nil
+}
+
+// Report feeds the measured result of a proposed trial back into the
+// session and the strategy. Results of a batch may arrive in any order;
+// reporting a trial the session does not consider pending is an error.
+func (s *Session) Report(tr Trial, res storm.Result) error {
+	s.mu.Lock()
+	idx := -1
+	for i, p := range s.pending {
+		if p.ID == tr.ID {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("core: report for unknown or already-reported trial %d", tr.ID)
+	}
+	p := s.pending[idx]
+	s.pending = append(s.pending[:idx], s.pending[idx+1:]...)
+	s.strat.Observe(p.Config, res)
+	s.records = append(s.records, RunRecord{Step: p.ID, Config: p.Config, Result: res, Decision: p.Decision})
+	s.ops = append(s.ops, SessionOp{Tell: p.ID})
+	evs := []Event{TrialCompleted{Trial: p, Result: res}}
+	if !res.Failed && res.Throughput > s.best {
+		s.best = res.Throughput
+		s.bestStep = p.ID
+		evs = append(evs, NewBest{Trial: p, Result: res})
+	}
+	if res.Failed || res.Throughput == 0 {
+		s.zeros++
+		if s.opts.StopAfterZeros > 0 && s.zeros >= s.opts.StopAfterZeros {
+			s.stopped = true
+		}
+	} else {
+		s.zeros = 0
+	}
+	s.mu.Unlock()
+	s.emit(evs...)
+	return nil
+}
+
+// Pending returns the trials proposed but not yet reported, in issue
+// order.
+func (s *Session) Pending() []Trial {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Trial(nil), s.pending...)
+}
+
+// Done reports whether the session will propose no further trials.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped || s.exhausted || s.issued >= s.opts.MaxSteps
+}
+
+// Result summarizes the session so far as a TuneResult.
+func (s *Session) Result() TuneResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return TuneResult{
+		Strategy: s.strat.Name(),
+		Records:  append([]RunRecord(nil), s.records...),
+		BestStep: s.bestStep,
+	}
+}
+
+// finish emits PassCompleted and returns the session summary.
+func (s *Session) finish(err error) (TuneResult, error) {
+	res := s.Result()
+	best, found := res.Best()
+	s.emit(PassCompleted{Steps: len(res.Records), Best: best, Found: found})
+	return res, err
+}
+
+// Run drives the session sequentially: one trial at a time until the
+// budget is spent, the strategy exhausts, the stopping rule fires, or
+// ctx is cancelled (the partial result is returned with ctx's error).
+func (s *Session) Run(ctx context.Context) (TuneResult, error) {
+	if s.ev == nil {
+		return s.Result(), ErrNoEvaluator
+	}
+	carry := s.Pending() // trials issued before a snapshot/resume
+	for {
+		if err := ctx.Err(); err != nil {
+			return s.finish(err)
+		}
+		var tr Trial
+		if len(carry) > 0 {
+			tr, carry = carry[0], carry[1:]
+		} else {
+			trials, err := s.Propose(ctx, 1)
+			if err != nil {
+				return s.finish(err)
+			}
+			if len(trials) == 0 {
+				return s.finish(nil)
+			}
+			tr = trials[0]
+		}
+		res := s.ev.Run(tr.Config, tr.RunIndex)
+		if err := s.Report(tr, res); err != nil {
+			return s.finish(err)
+		}
+	}
+}
+
+// RunBatch drives the session in barrier batches: per round up to q
+// trials are proposed together (constant-liar suggestions for BO
+// strategies) and evaluated concurrently, and the round only ends when
+// every trial of the batch has completed. q ≤ 1 degrades to Run.
+func (s *Session) RunBatch(ctx context.Context, q int) (TuneResult, error) {
+	if q <= 1 {
+		return s.Run(ctx)
+	}
+	if s.ev == nil {
+		return s.Result(), ErrNoEvaluator
+	}
+	carry := s.Pending()
+	for {
+		if err := ctx.Err(); err != nil {
+			return s.finish(err)
+		}
+		var trials []Trial
+		if len(carry) > 0 {
+			// Re-dispatch carried-over pending trials in rounds of at
+			// most q, honoring the concurrency this call was sized to.
+			n := q
+			if n > len(carry) {
+				n = len(carry)
+			}
+			trials, carry = carry[:n], carry[n:]
+		} else {
+			var err error
+			trials, err = s.Propose(ctx, q)
+			if err != nil {
+				return s.finish(err)
+			}
+			if len(trials) == 0 {
+				return s.finish(nil)
+			}
+		}
+		results := make([]storm.Result, len(trials))
+		var wg sync.WaitGroup
+		for i, tr := range trials {
+			wg.Add(1)
+			go func(i int, tr Trial) {
+				defer wg.Done()
+				results[i] = s.ev.Run(tr.Config, tr.RunIndex)
+			}(i, tr)
+		}
+		wg.Wait()
+		for i, tr := range trials {
+			if err := s.Report(tr, results[i]); err != nil {
+				return s.finish(err)
+			}
+		}
+	}
+}
+
+// RunAsync drives the session with free-slot refill: up to q trials run
+// concurrently and the moment any one completes its result is reported
+// and a replacement proposed, so a slow trial never idles the other
+// slots — the advantage over RunBatch grows with the variance of trial
+// durations. Results are deterministic given the seed and the order in
+// which evaluations complete; at q = 1 the driver is exactly Run.
+func (s *Session) RunAsync(ctx context.Context, q int) (TuneResult, error) {
+	if s.ev == nil {
+		return s.Result(), ErrNoEvaluator
+	}
+	if q < 1 {
+		q = 1
+	}
+	carry := s.Pending()
+	next := func(free int) []Trial {
+		var out []Trial
+		for free > 0 && len(carry) > 0 {
+			out = append(out, carry[0])
+			carry = carry[1:]
+			free--
+		}
+		if free > 0 {
+			trials, err := s.Propose(ctx, free)
+			if err == nil {
+				out = append(out, trials...)
+			}
+		}
+		return out
+	}
+	run := func(_ context.Context, tr Trial) storm.Result {
+		return s.ev.Run(tr.Config, tr.RunIndex)
+	}
+	var reportErr error
+	report := func(tr Trial, res storm.Result) bool {
+		if err := s.Report(tr, res); err != nil {
+			if reportErr == nil {
+				reportErr = err
+			}
+			return false
+		}
+		return true
+	}
+	err := scheduler.Loop(ctx, q, next, run, report)
+	if err == nil {
+		err = reportErr
+	}
+	return s.finish(err)
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/storm"
+)
+
+func newTestBO(seed int64) *BOStrategy {
+	o := fastBOOpts()
+	o.Seed = seed
+	return NewBO(testTopo(), cluster.Small(), storm.DefaultSyntheticConfig(testTopo(), 1), o)
+}
+
+func sameRecords(t *testing.T, a, b []RunRecord) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Step != b[i].Step {
+			t.Fatalf("record %d step %d vs %d", i, a[i].Step, b[i].Step)
+		}
+		if a[i].Config.Fingerprint() != b[i].Config.Fingerprint() {
+			t.Fatalf("record %d configs differ", i)
+		}
+		if a[i].Result.Throughput != b[i].Result.Throughput {
+			t.Fatalf("record %d throughput %v vs %v", i, a[i].Result.Throughput, b[i].Result.Throughput)
+		}
+	}
+}
+
+// TestSessionAskTellMatchesTune drives a session by hand through
+// Propose/Report and checks the result is identical to the one-shot
+// Tune driver with the same seed.
+func TestSessionAskTellMatchesTune(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	want := Tune(f, newTestBO(9), 12, 0, 0)
+
+	sess := NewSession(newTestBO(9), nil, SessionOptions{MaxSteps: 12})
+	ctx := context.Background()
+	for {
+		trials, err := sess.Propose(ctx, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(trials) == 0 {
+			break
+		}
+		tr := trials[0]
+		if err := sess.Report(tr, f.Run(tr.Config, tr.RunIndex)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := sess.Result()
+	sameRecords(t, want.Records, got.Records)
+	if want.BestStep != got.BestStep {
+		t.Fatalf("best step %d vs %d", want.BestStep, got.BestStep)
+	}
+}
+
+// TestSessionRunAsyncOneSlotMatchesTune: at q=1 the free-slot driver is
+// exactly the sequential driver.
+func TestSessionRunAsyncOneSlotMatchesTune(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	want := Tune(f, newTestBO(4), 10, 0, 0)
+	sess := NewSession(newTestBO(4), f, SessionOptions{MaxSteps: 10})
+	got, err := sess.RunAsync(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, want.Records, got.Records)
+}
+
+// TestSessionSnapshotResumeBitIdentical snapshots a sequential run
+// mid-way, resumes it with a fresh strategy, and checks the combined
+// run matches an uninterrupted one record for record.
+func TestSessionSnapshotResumeBitIdentical(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	full := Tune(f, newTestBO(7), 16, 0, 0)
+
+	half := NewSession(newTestBO(7), f, SessionOptions{MaxSteps: 8})
+	if _, err := half.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := half.Snapshot()
+
+	resumed, err := ResumeSession(st, newTestBO(7), f, SessionOptions{MaxSteps: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, full.Records, got.Records)
+	if full.BestStep != got.BestStep {
+		t.Fatalf("best step %d vs %d", full.BestStep, got.BestStep)
+	}
+}
+
+// TestSessionSnapshotCarriesPendingTrials: a snapshot taken between a
+// proposal and its report re-dispatches the trial on resume with its
+// original run index.
+func TestSessionSnapshotCarriesPendingTrials(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	full := Tune(f, newTestBO(3), 10, 0, 0)
+
+	sess := NewSession(newTestBO(3), f, SessionOptions{MaxSteps: 10})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		trials, err := sess.Propose(ctx, 1)
+		if err != nil || len(trials) == 0 {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+		tr := trials[0]
+		if err := sess.Report(tr, f.Run(tr.Config, tr.RunIndex)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Propose the 6th trial but snapshot before reporting it.
+	trials, err := sess.Propose(ctx, 1)
+	if err != nil || len(trials) != 1 {
+		t.Fatalf("propose pending: %v", err)
+	}
+	st := sess.Snapshot()
+	if len(st.Pending) != 1 || st.Pending[0].ID != 6 {
+		t.Fatalf("snapshot pending = %+v", st.Pending)
+	}
+
+	resumed, err := ResumeSession(st, newTestBO(3), f, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Pending(); len(got) != 1 || got[0].RunIndex != 6 {
+		t.Fatalf("resumed pending = %+v", got)
+	}
+	res, err := resumed.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, full.Records, res.Records)
+}
+
+// TestResumeSessionRejectsDivergingStrategy: replay cross-checks the
+// regenerated configurations, so resuming with the wrong seed fails
+// loudly instead of silently corrupting the run.
+func TestResumeSessionRejectsDivergingStrategy(t *testing.T) {
+	f := testEval(testTopo())
+	sess := NewSession(newTestBO(7), f, SessionOptions{MaxSteps: 6})
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ResumeSession(sess.Snapshot(), newTestBO(8), f, SessionOptions{}); err == nil {
+		t.Fatal("resume with a different seed should fail the replay cross-check")
+	}
+}
+
+// TestSessionReportUnknownTrial rejects results for trials the session
+// never proposed (or already consumed).
+func TestSessionReportUnknownTrial(t *testing.T) {
+	f := testEval(testTopo())
+	sess := NewSession(newTestBO(1), f, SessionOptions{MaxSteps: 4})
+	if err := sess.Report(Trial{ID: 99}, storm.Result{}); err == nil {
+		t.Fatal("expected error for unknown trial")
+	}
+	trials, err := sess.Propose(context.Background(), 1)
+	if err != nil || len(trials) != 1 {
+		t.Fatal("propose failed")
+	}
+	if err := sess.Report(trials[0], storm.Result{Throughput: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Report(trials[0], storm.Result{Throughput: 1}); err == nil {
+		t.Fatal("double report should fail")
+	}
+}
+
+// TestSessionEmitsEvents checks the typed event stream of a sequential
+// driver run: started/completed per trial, NewBest on improvements, one
+// PassCompleted at the end.
+func TestSessionEmitsEvents(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	var started, completed, newBest, passDone int
+	lastCompleted := 0
+	obs := ObserverFunc(func(e Event) {
+		switch ev := e.(type) {
+		case TrialStarted:
+			started++
+			if ev.Trial.ID != started {
+				t.Errorf("TrialStarted id %d at position %d", ev.Trial.ID, started)
+			}
+		case TrialCompleted:
+			completed++
+			lastCompleted = ev.Trial.ID
+		case NewBest:
+			newBest++
+			if ev.Trial.ID != lastCompleted {
+				t.Errorf("NewBest for trial %d before its TrialCompleted", ev.Trial.ID)
+			}
+		case PassCompleted:
+			passDone++
+			if ev.Steps != completed {
+				t.Errorf("PassCompleted.Steps = %d, completed %d", ev.Steps, completed)
+			}
+			if !ev.Found {
+				t.Error("PassCompleted.Found = false on a healthy run")
+			}
+		}
+	})
+	sess := NewSession(newTestBO(2), f, SessionOptions{MaxSteps: 8, Observer: obs})
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if started != 8 || completed != 8 {
+		t.Fatalf("started %d completed %d, want 8/8", started, completed)
+	}
+	if newBest == 0 {
+		t.Fatal("no NewBest events")
+	}
+	if passDone != 1 {
+		t.Fatalf("PassCompleted emitted %d times", passDone)
+	}
+}
+
+// TestSessionRunHonorsCancellation: a cancelled context stops the
+// driver promptly, surfaces ctx.Err(), and keeps the partial records.
+func TestSessionRunHonorsCancellation(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	obs := ObserverFunc(func(e Event) {
+		if _, ok := e.(TrialCompleted); ok {
+			n++
+			if n == 3 {
+				cancel()
+			}
+		}
+	})
+	sess := NewSession(newTestBO(2), f, SessionOptions{MaxSteps: 50, Observer: obs})
+	res, err := sess.Run(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res.Records) != 3 {
+		t.Fatalf("cancelled after 3 completions but kept %d records", len(res.Records))
+	}
+}
+
+// trackingEval counts evaluator runs and the peak number running
+// concurrently.
+type trackingEval struct {
+	inner    storm.Evaluator
+	runs     atomic.Int32
+	inflight atomic.Int32
+	peak     atomic.Int32
+}
+
+func (e *trackingEval) Run(cfg storm.Config, runIndex int) storm.Result {
+	e.runs.Add(1)
+	cur := e.inflight.Add(1)
+	for {
+		p := e.peak.Load()
+		if cur <= p || e.peak.CompareAndSwap(p, cur) {
+			break
+		}
+	}
+	time.Sleep(time.Millisecond)
+	defer e.inflight.Add(-1)
+	return e.inner.Run(cfg, runIndex)
+}
+
+func (e *trackingEval) Metric() storm.Metric { return e.inner.Metric() }
+
+// TestResumedRunHonorsCancelledContext: a resumed session with carried
+// pending trials must not evaluate any of them under a context that is
+// already cancelled (they may be real cluster deployments).
+func TestResumedRunHonorsCancelledContext(t *testing.T) {
+	f := testEval(testTopo())
+	sess := NewSession(newTestBO(5), nil, SessionOptions{MaxSteps: 8})
+	if _, err := sess.Propose(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	st := sess.Snapshot()
+
+	tracked := &trackingEval{inner: f}
+	resumed, err := ResumeSession(st, newTestBO(5), tracked, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, run := range map[string]func() (TuneResult, error){
+		"Run":      func() (TuneResult, error) { return resumed.Run(ctx) },
+		"RunBatch": func() (TuneResult, error) { return resumed.RunBatch(ctx, 2) },
+		"RunAsync": func() (TuneResult, error) { return resumed.RunAsync(ctx, 2) },
+	} {
+		if _, err := run(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", name, err)
+		}
+		if n := tracked.runs.Load(); n != 0 {
+			t.Fatalf("%s evaluated %d carried trials under a cancelled context", name, n)
+		}
+	}
+	if got := resumed.Pending(); len(got) != 3 {
+		t.Fatalf("pending trials lost: %d left, want 3", len(got))
+	}
+}
+
+// TestResumedRunBatchChunksCarryToQ: carried pending trials are
+// re-dispatched in rounds of at most q, not as one oversized barrier.
+func TestResumedRunBatchChunksCarryToQ(t *testing.T) {
+	f := testEval(testTopo())
+	sess := NewSession(newTestBO(6), nil, SessionOptions{MaxSteps: 5})
+	if _, err := sess.Propose(context.Background(), 5); err != nil {
+		t.Fatal(err)
+	}
+	tracked := &trackingEval{inner: f}
+	resumed, err := ResumeSession(sess.Snapshot(), newTestBO(6), tracked, SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.RunBatch(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 5 {
+		t.Fatalf("completed %d records, want 5", len(res.Records))
+	}
+	if p := tracked.peak.Load(); p > 2 {
+		t.Fatalf("carry dispatched %d trials concurrently, q=2", p)
+	}
+}
+
+// TestSessionProposeFillIsAtomic: concurrent ProposeFill callers never
+// jointly exceed the in-flight cap.
+func TestSessionProposeFillIsAtomic(t *testing.T) {
+	sess := NewSession(newTestBO(2), nil, SessionOptions{MaxSteps: 40})
+	const fill = 3
+	var wg sync.WaitGroup
+	issued := make([][]Trial, 8)
+	for i := range issued {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trials, err := sess.ProposeFill(context.Background(), fill)
+			if err != nil {
+				t.Error(err)
+			}
+			issued[i] = trials
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, ts := range issued {
+		total += len(ts)
+	}
+	if total > fill {
+		t.Fatalf("concurrent ProposeFill issued %d trials, cap %d", total, fill)
+	}
+	if got := len(sess.Pending()); got != total {
+		t.Fatalf("pending %d != issued %d", got, total)
+	}
+}
+
+// TestSessionRunBatchMatchesTuneBatch: the session batch driver is the
+// implementation under the legacy TuneBatch wrapper; both entry points
+// must agree.
+func TestSessionRunBatchMatchesTuneBatch(t *testing.T) {
+	tp := testTopo()
+	f := testEval(tp)
+	want := TuneBatch(f, newTestBO(5), 12, 3, 0, 0)
+	sess := NewSession(newTestBO(5), f, SessionOptions{MaxSteps: 12})
+	got, err := sess.RunBatch(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRecords(t, want.Records, got.Records)
+}
+
+// TestSessionDecisionTimes: per-record decision time stays comparable
+// between drivers (amortized over the batch).
+func TestSessionDecisionTimes(t *testing.T) {
+	f := testEval(testTopo())
+	sess := NewSession(newTestBO(6), f, SessionOptions{MaxSteps: 6})
+	res, err := sess.RunBatch(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total time.Duration
+	for _, r := range res.Records {
+		total += r.Decision
+	}
+	if total <= 0 {
+		t.Fatal("no decision time recorded")
+	}
+}

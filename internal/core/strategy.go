@@ -7,7 +7,7 @@
 package core
 
 import (
-	"sync"
+	"context"
 	"time"
 
 	"stormtune/internal/storm"
@@ -111,56 +111,14 @@ func (t TuneResult) MeanDecisionSeconds() float64 {
 // Decision is the batch decision time amortized over the batch, keeping
 // MeanDecisionSeconds comparable with sequential passes. q ≤ 1 degrades
 // to Tune.
+//
+// It is a convenience wrapper over Session.RunBatch; build a Session
+// directly for cancellation, events, async dispatch or snapshots.
 func TuneBatch(ev storm.Evaluator, strat Strategy, maxSteps, q, stopAfterZeros, runOffset int) TuneResult {
-	if q <= 1 {
-		return Tune(ev, strat, maxSteps, stopAfterZeros, runOffset)
-	}
-	res := TuneResult{Strategy: strat.Name()}
-	zeros := 0
-	best := 0.0
-	step := 1
-	for step <= maxSteps {
-		want := q
-		if rem := maxSteps - step + 1; rem < want {
-			want = rem
-		}
-		cfgs, batchDec, ok := nextBatch(strat, want)
-		if !ok || len(cfgs) == 0 {
-			break
-		}
-		dec := batchDec / time.Duration(len(cfgs))
-		results := make([]storm.Result, len(cfgs))
-		var wg sync.WaitGroup
-		for i := range cfgs {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				results[i] = ev.Run(cfgs[i], runOffset+step+i)
-			}(i)
-		}
-		wg.Wait()
-		stop := false
-		for i, r := range results {
-			strat.Observe(cfgs[i], r)
-			res.Records = append(res.Records, RunRecord{Step: step, Config: cfgs[i], Result: r, Decision: dec})
-			if !r.Failed && r.Throughput > best {
-				best = r.Throughput
-				res.BestStep = step
-			}
-			if r.Failed || r.Throughput == 0 {
-				zeros++
-				if stopAfterZeros > 0 && zeros >= stopAfterZeros {
-					stop = true
-				}
-			} else {
-				zeros = 0
-			}
-			step++
-		}
-		if stop {
-			break
-		}
-	}
+	s := NewSession(strat, ev, SessionOptions{
+		MaxSteps: maxSteps, StopAfterZeros: stopAfterZeros, RunOffset: runOffset,
+	})
+	res, _ := s.RunBatch(context.Background(), q)
 	return res
 }
 
@@ -189,31 +147,13 @@ func nextBatch(strat Strategy, q int) ([]storm.Config, time.Duration, bool) {
 // fewer if the strategy exhausts itself or — when stopAfterZeros > 0 —
 // after that many consecutive zero-performance runs (the paper stops
 // the pla strategies after three).
+//
+// It is a convenience wrapper over Session.Run; build a Session
+// directly for cancellation, events, async dispatch or snapshots.
 func Tune(ev storm.Evaluator, strat Strategy, maxSteps, stopAfterZeros int, runOffset int) TuneResult {
-	res := TuneResult{Strategy: strat.Name()}
-	zeros := 0
-	best := 0.0
-	for step := 1; step <= maxSteps; step++ {
-		cfg, ok := strat.Next()
-		if !ok {
-			break
-		}
-		dec := strat.DecisionTime()
-		r := ev.Run(cfg, runOffset+step)
-		strat.Observe(cfg, r)
-		res.Records = append(res.Records, RunRecord{Step: step, Config: cfg, Result: r, Decision: dec})
-		if !r.Failed && r.Throughput > best {
-			best = r.Throughput
-			res.BestStep = step
-		}
-		if r.Failed || r.Throughput == 0 {
-			zeros++
-			if stopAfterZeros > 0 && zeros >= stopAfterZeros {
-				break
-			}
-		} else {
-			zeros = 0
-		}
-	}
+	s := NewSession(strat, ev, SessionOptions{
+		MaxSteps: maxSteps, StopAfterZeros: stopAfterZeros, RunOffset: runOffset,
+	})
+	res, _ := s.Run(context.Background())
 	return res
 }

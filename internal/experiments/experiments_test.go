@@ -130,6 +130,22 @@ func TestSundogSeriesAndFig8(t *testing.T) {
 	}
 }
 
+func TestAsyncScalingShapes(t *testing.T) {
+	skipSlow(t)
+	r := AsyncScaling(tinyScale())
+	if len(r.Rows) != 3 {
+		t.Fatalf("want sequential/batch/async rows, got %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != len(r.Columns) {
+			t.Fatalf("row %v does not match columns %v", row, r.Columns)
+		}
+	}
+	if r.Rows[0][0] != "sequential" || r.Rows[1][0] != "batch" || r.Rows[2][0] != "async" {
+		t.Fatalf("unexpected mode order: %v", r.Rows)
+	}
+}
+
 func TestRegistryRunAll(t *testing.T) {
 	skipSlow(t)
 	sc := tinyScale()

@@ -67,6 +67,7 @@ var Registry = map[string]Runner{
 	"fig8b":    func(sc Scale) []*Report { return []*Report{Fig8b(GetSundog(sc))} },
 	"ablation": func(sc Scale) []*Report { return []*Report{Ablation(sc)} },
 	"batch":    func(sc Scale) []*Report { return []*Report{BatchScaling(sc)} },
+	"async":    func(sc Scale) []*Report { return []*Report{AsyncScaling(sc)} },
 }
 
 // IDs returns the registered experiment ids, sorted.

@@ -1,0 +1,65 @@
+// Package scheduler implements the free-slot-refill dispatch loop the
+// asynchronous tuning driver is built on: up to a fixed number of jobs
+// run concurrently, and the moment any job completes a replacement is
+// requested — no barrier between rounds, so slow jobs never hold idle
+// slots hostage the way batch dispatch does when durations vary.
+//
+// Completions are processed strictly one at a time on the caller's
+// goroutine, so given the same completion order the sequence of
+// next/done calls — and therefore everything the caller derives from it
+// — is deterministic.
+package scheduler
+
+import "context"
+
+// Loop runs the dispatch loop until the job source dries up, done asks
+// to stop, or ctx is cancelled. next(free) must return at most free
+// jobs (it is called with the full slot count first, then with the
+// number of slots just vacated); returning none means no work is
+// currently available — the loop asks again after the next completion
+// and exits once nothing is in flight. run evaluates one job (called
+// concurrently, one goroutine per in-flight job). done is called
+// serially in completion order; returning false stops the loop from
+// issuing further jobs.
+//
+// On cancellation or stop the loop does not abandon in-flight jobs: it
+// keeps collecting (and reporting via done) every result already paid
+// for, then returns ctx.Err().
+func Loop[J, R any](ctx context.Context, slots int,
+	next func(free int) []J,
+	run func(context.Context, J) R,
+	done func(J, R) bool,
+) error {
+	if slots < 1 {
+		slots = 1
+	}
+	type completion struct {
+		job J
+		res R
+	}
+	ch := make(chan completion)
+	inflight := 0
+	launch := func(jobs []J) {
+		for _, j := range jobs {
+			inflight++
+			go func(j J) {
+				ch <- completion{job: j, res: run(ctx, j)}
+			}(j)
+		}
+	}
+	stopped := ctx.Err() != nil
+	if !stopped {
+		launch(next(slots))
+	}
+	for inflight > 0 {
+		c := <-ch
+		inflight--
+		if !done(c.job, c.res) || ctx.Err() != nil {
+			stopped = true
+		}
+		if !stopped {
+			launch(next(slots - inflight))
+		}
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,187 @@
+package scheduler
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLoopRunsEveryJobOnce feeds a fixed job list through the loop and
+// checks each job completes exactly once, with at most `slots` in
+// flight.
+func TestLoopRunsEveryJobOnce(t *testing.T) {
+	const n, slots = 20, 3
+	issued := 0
+	next := func(free int) []int {
+		var out []int
+		for free > 0 && issued < n {
+			issued++
+			out = append(out, issued)
+			free--
+		}
+		return out
+	}
+	var inflight, peak atomic.Int32
+	run := func(_ context.Context, j int) int {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		inflight.Add(-1)
+		return j * 2
+	}
+	done := map[int]int{}
+	report := func(j, r int) bool {
+		done[j] = r
+		return true
+	}
+	if err := Loop(context.Background(), slots, next, run, report); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != n {
+		t.Fatalf("completed %d jobs, want %d", len(done), n)
+	}
+	for j, r := range done {
+		if r != j*2 {
+			t.Fatalf("job %d result %d", j, r)
+		}
+	}
+	if p := peak.Load(); p > slots {
+		t.Fatalf("peak in-flight %d exceeds %d slots", p, slots)
+	}
+}
+
+// TestLoopRefillsFreedSlot checks the free-slot-refill property: with
+// one slow job and several fast ones, the fast slot turns over multiple
+// jobs while the slow one is still running.
+func TestLoopRefillsFreedSlot(t *testing.T) {
+	durations := []time.Duration{50 * time.Millisecond, 1, 1, 1, 1, 1}
+	issued := 0
+	next := func(free int) []int {
+		var out []int
+		for free > 0 && issued < len(durations) {
+			out = append(out, issued)
+			issued++
+			free--
+		}
+		return out
+	}
+	var order []int
+	start := time.Now()
+	err := Loop(context.Background(), 2, next,
+		func(_ context.Context, j int) struct{} {
+			time.Sleep(durations[j])
+			return struct{}{}
+		},
+		func(j int, _ struct{}) bool {
+			order = append(order, j)
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(durations) {
+		t.Fatalf("completed %d, want %d", len(order), len(durations))
+	}
+	// A barrier over batches of 2 would need 3 rounds each gated on the
+	// 50 ms job's round; free-slot refill finishes all fast jobs during
+	// the one slow job.
+	if wall := time.Since(start); wall > 150*time.Millisecond {
+		t.Fatalf("loop took %v, refill is not overlapping work", wall)
+	}
+	if order[len(order)-1] != 0 {
+		t.Fatalf("slow job should complete last, order %v", order)
+	}
+}
+
+// TestLoopStopsWhenDoneSaysSo checks that done=false stops issuing but
+// still drains in-flight jobs.
+func TestLoopStopsWhenDoneSaysSo(t *testing.T) {
+	issued := 0
+	next := func(free int) []int {
+		var out []int
+		for ; free > 0; free-- {
+			issued++
+			out = append(out, issued)
+		}
+		return out
+	}
+	completions := 0
+	err := Loop(context.Background(), 4, next,
+		func(_ context.Context, j int) int { return j },
+		func(int, int) bool {
+			completions++
+			return false
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completions != 4 {
+		t.Fatalf("expected the initial 4 in-flight jobs to drain, got %d completions", completions)
+	}
+	if issued != 4 {
+		t.Fatalf("no refill should happen after stop, issued %d", issued)
+	}
+}
+
+// TestLoopHonorsCancellation checks that cancelling the context stops
+// refills, drains in-flight work, and surfaces ctx.Err().
+func TestLoopHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	issued := 0
+	next := func(free int) []int {
+		var out []int
+		for ; free > 0; free-- {
+			issued++
+			out = append(out, issued)
+		}
+		return out
+	}
+	completions := 0
+	err := Loop(ctx, 2, next,
+		func(_ context.Context, j int) int {
+			time.Sleep(2 * time.Millisecond)
+			return j
+		},
+		func(int, int) bool {
+			completions++
+			if completions == 3 {
+				cancel()
+			}
+			return true
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// After cancel at the 3rd completion, only already-launched jobs may
+	// complete: at most 3 + 2 slots.
+	if completions > 5 {
+		t.Fatalf("%d completions after cancellation", completions)
+	}
+	if issued > completions+2 {
+		t.Fatalf("issued %d, completed %d: loop kept refilling after cancel", issued, completions)
+	}
+}
+
+// TestLoopPreCancelled checks a cancelled context runs nothing.
+func TestLoopPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := Loop(ctx, 2,
+		func(int) []int { ran = true; return []int{1} },
+		func(_ context.Context, j int) int { ran = true; return j },
+		func(int, int) bool { ran = true; return true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("pre-cancelled loop must not issue work")
+	}
+}

@@ -1,0 +1,70 @@
+package storm
+
+import (
+	"math"
+	"time"
+)
+
+// JitterEval wraps an evaluator so every Run additionally takes a
+// deterministic, heavy-tailed amount of wall-clock time. Real trial
+// deployments do not finish in lock-step — JVM warmup, scheduler queue
+// position and interference stretch some runs far past the median
+// (§IV-C1 mentions students using the machines mid-evaluation) — and
+// this wrapper reproduces that skew so the dispatch experiments can
+// measure how barrier batching and free-slot refill cope with it.
+type JitterEval struct {
+	Inner Evaluator
+	// Base is the minimum trial duration (the Pareto scale).
+	Base time.Duration
+	// Alpha is the Pareto tail index; smaller means heavier tails
+	// (default 1.3 — infinite variance, like real stragglers).
+	Alpha float64
+	// Cap bounds a single trial's duration (default 25×Base).
+	Cap time.Duration
+	// Seed decorrelates experiments; durations are deterministic given
+	// (Seed, config fingerprint, run index).
+	Seed int64
+}
+
+// Jittered wraps ev with heavy-tailed per-trial durations.
+func Jittered(ev Evaluator, base time.Duration, seed int64) *JitterEval {
+	return &JitterEval{Inner: ev, Base: base, Alpha: 1.3, Cap: 25 * base, Seed: seed}
+}
+
+// Duration returns the wall-clock time one trial of cfg takes; it is a
+// pure function of (Seed, cfg, runIndex).
+func (j *JitterEval) Duration(cfg Config, runIndex int) time.Duration {
+	h := cfg.Fingerprint() ^ uint64(runIndex)*0x9e3779b97f4a7c15 ^ uint64(j.Seed)*0xbf58476d1ce4e5b9
+	// splitmix64 finalizer for well-mixed bits.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	u := float64(h>>11) / float64(1<<53) // uniform [0, 1)
+	alpha := j.Alpha
+	if alpha <= 0 {
+		alpha = 1.3
+	}
+	d := time.Duration(float64(j.Base) * math.Pow(1-u, -1/alpha))
+	cap := j.Cap
+	if cap <= 0 {
+		cap = 25 * j.Base
+	}
+	if d > cap {
+		d = cap
+	}
+	if d < j.Base {
+		d = j.Base
+	}
+	return d
+}
+
+// Run implements Evaluator: sleep the trial's duration, then measure.
+func (j *JitterEval) Run(cfg Config, runIndex int) Result {
+	time.Sleep(j.Duration(cfg, runIndex))
+	return j.Inner.Run(cfg, runIndex)
+}
+
+// Metric implements Evaluator.
+func (j *JitterEval) Metric() Metric { return j.Inner.Metric() }

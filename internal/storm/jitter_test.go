@@ -1,0 +1,72 @@
+package storm
+
+import (
+	"testing"
+	"time"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/topo"
+)
+
+func jitterTopo() *topo.Topology {
+	return topo.MustNew("j",
+		[]topo.Node{
+			{Name: "s", Kind: topo.Spout, TimeUnits: 10, Selectivity: 1, TupleBytes: 64},
+			{Name: "a", Kind: topo.Bolt, TimeUnits: 10, Selectivity: 1, TupleBytes: 64},
+		},
+		[]topo.Edge{{From: 0, To: 1}},
+	)
+}
+
+func TestJitteredDurationsDeterministicAndHeavyTailed(t *testing.T) {
+	tp := jitterTopo()
+	inner := NewFluidSim(tp, cluster.Small(), SinkTuples, 1)
+	j := Jittered(inner, time.Millisecond, 7)
+	cfg := DefaultConfig(tp, 2)
+
+	if j.Duration(cfg, 3) != j.Duration(cfg, 3) {
+		t.Fatal("duration must be deterministic per (config, run)")
+	}
+	if j.Duration(cfg, 3) == j.Duration(cfg, 4) {
+		t.Fatal("different runs should draw different durations")
+	}
+
+	var min, max, total time.Duration
+	min = time.Hour
+	const n = 200
+	for i := 0; i < n; i++ {
+		d := j.Duration(cfg, i)
+		if d < j.Base || d > j.Cap {
+			t.Fatalf("duration %v outside [%v, %v]", d, j.Base, j.Cap)
+		}
+		if d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+		total += d
+	}
+	// Heavy tail: the worst trial dwarfs the typical one.
+	if max < 5*min {
+		t.Fatalf("tail too light: min %v max %v", min, max)
+	}
+	if mean := total / n; mean < time.Millisecond || mean > 10*time.Millisecond {
+		t.Fatalf("mean duration %v implausible for base 1ms", mean)
+	}
+}
+
+func TestJitteredPreservesMeasurements(t *testing.T) {
+	tp := jitterTopo()
+	inner := NewFluidSim(tp, cluster.Small(), SinkTuples, 1)
+	j := Jittered(inner, 100*time.Microsecond, 1)
+	cfg := DefaultConfig(tp, 2)
+	want := inner.Run(cfg, 5)
+	got := j.Run(cfg, 5)
+	if got.Throughput != want.Throughput || got.Failed != want.Failed {
+		t.Fatalf("jitter changed the measurement: %+v vs %+v", got, want)
+	}
+	if j.Metric() != inner.Metric() {
+		t.Fatal("metric must pass through")
+	}
+}

@@ -1,0 +1,404 @@
+package stormtune
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"stormtune/internal/bo"
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+)
+
+// Session types re-exported from the core package.
+type (
+	// Trial is one proposed configuration evaluation: evaluate
+	// Trial.Config (passing Trial.RunIndex to the evaluator, or running
+	// it on whatever system you control) and hand the measurement back
+	// via Tuner.Report.
+	Trial = core.Trial
+	// RunRecord is one completed optimization step.
+	RunRecord = core.RunRecord
+	// Event is a typed session notification; the concrete types are
+	// TrialStarted, TrialCompleted, NewBest, PassCompleted and
+	// ParallelismClamped.
+	Event = core.Event
+	// TrialStarted reports a trial handed out for evaluation.
+	TrialStarted = core.TrialStarted
+	// TrialCompleted reports a trial's measurement fed back in.
+	TrialCompleted = core.TrialCompleted
+	// NewBest reports a trial that improved the session's best.
+	NewBest = core.NewBest
+	// PassCompleted reports that a driver finished.
+	PassCompleted = core.PassCompleted
+	// ParallelismClamped reports a driver reducing its requested
+	// parallelism to the cluster's concurrent-trial capacity.
+	ParallelismClamped = core.ParallelismClamped
+	// Observer receives session events.
+	Observer = core.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = core.ObserverFunc
+)
+
+// TunerOptions configure a tuning session.
+type TunerOptions struct {
+	// Steps is the evaluation budget — the total number of trials the
+	// session will propose (default 60, as in the paper).
+	Steps int
+	// Set selects the searched parameters (default Hints).
+	Set ParamSet
+	// Template supplies the non-searched parameters; zero value uses the
+	// paper's §V-D deployment defaults with hint 1.
+	Template *Config
+	// Cluster defaults to the paper's 80-machine cluster. It bounds the
+	// max-tasks search dimension and the concurrent-trial capacity
+	// RunAsync clamps its parallelism to.
+	Cluster *ClusterSpec
+	// Seed drives the optimizer (default 1).
+	Seed int64
+	// StopAfterZeros stops the session after this many consecutive
+	// zero-performance trials; 0 disables (the paper uses 3 for the
+	// linear strategies, 0 for BO).
+	StopAfterZeros int
+	// Parallel is the number of in-flight trials Propose keeps topped up
+	// (default 1 — the paper's sequential procedure). The Run* drivers
+	// take their own q and ignore it.
+	Parallel int
+	// Observer receives the session's typed events; nil disables.
+	Observer Observer
+	// Strategy overrides the built-in Bayesian optimizer with a custom
+	// strategy (e.g. NewPLA). Snapshots of such a session can only be
+	// resumed by supplying an equally fresh Strategy to ResumeTuner.
+	Strategy Strategy
+
+	// Optimizer knobs, forwarded to the Bayesian strategy (zero values
+	// select the Spearmint-like defaults). They are recorded in
+	// snapshots so a resumed run rebuilds the exact same optimizer.
+	Candidates       int
+	HyperSamples     int
+	LocalSearchIters int
+	MaxGPPoints      int
+}
+
+func (o TunerOptions) boOptions() BOOptions {
+	return BOOptions{
+		Set:  o.Set,
+		Seed: o.Seed,
+		Opt: bo.Options{
+			Candidates:       o.Candidates,
+			HyperSamples:     o.HyperSamples,
+			LocalSearchIters: o.LocalSearchIters,
+			MaxGPPoints:      o.MaxGPPoints,
+		},
+	}
+}
+
+// Tuner is a long-lived, interruptible tuning session over one topology
+// and evaluator — the workflow the paper ran with Spearmint on its
+// shared cluster (§III-C), exposed as an ask/tell API. Propose hands
+// out trials and Report feeds measurements back, so callers can drive
+// evaluations themselves, including against external clusters the
+// library does not control; the Run, RunBatch and RunAsync drivers
+// automate the loop against the configured evaluator with
+// context-based cancellation, typed events, and Snapshot/ResumeTuner
+// pause points.
+type Tuner struct {
+	sess     *core.Session
+	opts     TunerOptions
+	topoName string
+	topoN    int
+	custom   bool
+	// bound is the cluster's concurrent-trial capacity for the template
+	// configuration; RunAsync clamps its q to it.
+	bound int
+}
+
+// NewTuner starts a tuning session for a topology against an evaluator.
+// ev may be nil when the caller evaluates trials itself through
+// Propose/Report (the Run* drivers then return an error).
+func NewTuner(t *Topology, ev Evaluator, opts TunerOptions) (*Tuner, error) {
+	if t == nil {
+		return nil, fmt.Errorf("stormtune: nil topology")
+	}
+	if opts.Steps <= 0 {
+		opts.Steps = 60
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Parallel < 1 {
+		opts.Parallel = 1
+	}
+	spec := cluster.Paper()
+	if opts.Cluster != nil {
+		spec = *opts.Cluster
+	}
+	template := storm.DefaultConfig(t, 1)
+	if opts.Template != nil {
+		template = opts.Template.Clone()
+	}
+	opts.Cluster = &spec
+	opts.Template = &template
+
+	strat := opts.Strategy
+	custom := strat != nil
+	if strat == nil {
+		strat = core.NewBO(t, spec, template, opts.boOptions())
+	}
+	sess := core.NewSession(strat, ev, core.SessionOptions{
+		MaxSteps:       opts.Steps,
+		StopAfterZeros: opts.StopAfterZeros,
+		Observer:       opts.Observer,
+	})
+	return &Tuner{
+		sess:     sess,
+		opts:     opts,
+		topoName: t.Name,
+		topoN:    t.N(),
+		custom:   custom,
+		bound:    spec.MaxConcurrentTrials(template.TotalTasks()),
+	}, nil
+}
+
+// Propose asks for the next trials to evaluate, topping the in-flight
+// set up to TunerOptions.Parallel (the free-slot computation is atomic,
+// so concurrent callers cannot jointly over-issue past the cap). An
+// empty result with a nil error means nothing is currently askable:
+// the budget is spent, the stopping rule fired, or Parallel trials are
+// already pending — report one and ask again.
+func (tn *Tuner) Propose(ctx context.Context) ([]Trial, error) {
+	return tn.sess.ProposeFill(ctx, tn.opts.Parallel)
+}
+
+// Report feeds the measured result of a proposed trial back into the
+// session. Trials of a batch may be reported in any order.
+func (tn *Tuner) Report(tr Trial, res Result) error { return tn.sess.Report(tr, res) }
+
+// Pending returns the proposed-but-unreported trials, in issue order.
+func (tn *Tuner) Pending() []Trial { return tn.sess.Pending() }
+
+// Done reports whether the session will propose no further trials.
+func (tn *Tuner) Done() bool { return tn.sess.Done() }
+
+// Result summarizes the session so far.
+func (tn *Tuner) Result() TuneResult { return tn.sess.Result() }
+
+// Best returns the best completed trial; ok is false if every run
+// failed (or none completed).
+func (tn *Tuner) Best() (RunRecord, bool) { return tn.sess.Result().Best() }
+
+// MaxParallel reports how many concurrent trials of the template
+// configuration the session's cluster can host — the bound RunAsync
+// clamps its q to.
+func (tn *Tuner) MaxParallel() int { return tn.bound }
+
+// Run drives the session sequentially (the paper's procedure) until
+// the budget is spent or ctx is cancelled; on cancellation the partial
+// result is returned together with ctx's error.
+func (tn *Tuner) Run(ctx context.Context) (TuneResult, error) { return tn.sess.Run(ctx) }
+
+// RunBatch drives the session in barrier batches of q concurrently
+// evaluated trials (constant-liar suggestions); each round waits for
+// the whole batch. q ≤ 1 reproduces Run.
+func (tn *Tuner) RunBatch(ctx context.Context, q int) (TuneResult, error) {
+	return tn.sess.RunBatch(ctx, q)
+}
+
+// RunAsync drives the session with free-slot refill: up to q trials in
+// flight, and the moment any one completes its result is reported and a
+// replacement proposed — no barrier, so slow trials never idle the
+// other slots. q is clamped to the cluster's concurrent-trial capacity
+// (a ParallelismClamped event reports the reduction) instead of
+// oversubscribing the cluster. Results are deterministic given the
+// seed and completion order; q = 1 matches Run exactly.
+func (tn *Tuner) RunAsync(ctx context.Context, q int) (TuneResult, error) {
+	if q > tn.bound {
+		tn.sess.Emit(ParallelismClamped{Requested: q, Allowed: tn.bound})
+		q = tn.bound
+	}
+	return tn.sess.RunAsync(ctx, q)
+}
+
+// TunerState is the serializable snapshot of a Tuner: everything needed
+// to rebuild the optimizer (parameter set, seed, optimizer knobs,
+// template, cluster) plus the session's records, pending trials and
+// ask/tell log. Resuming replays that log against a freshly built
+// strategy, so the resumed session continues bit-identically to an
+// uninterrupted run — the Spearmint pause/resume workflow (§III-C),
+// now at the public API level.
+type TunerState struct {
+	Version          int                `json:"version"`
+	Topology         string             `json:"topology"`
+	Nodes            int                `json:"nodes"`
+	Steps            int                `json:"steps"`
+	Set              ParamSet           `json:"set"`
+	Seed             int64              `json:"seed"`
+	StopAfterZeros   int                `json:"stopAfterZeros,omitempty"`
+	Parallel         int                `json:"parallel,omitempty"`
+	Candidates       int                `json:"candidates,omitempty"`
+	HyperSamples     int                `json:"hyperSamples,omitempty"`
+	LocalSearchIters int                `json:"localSearchIters,omitempty"`
+	MaxGPPoints      int                `json:"maxGPPoints,omitempty"`
+	Template         Config             `json:"template"`
+	Cluster          ClusterSpec        `json:"cluster"`
+	Custom           bool               `json:"custom,omitempty"`
+	Session          *core.SessionState `json:"session"`
+}
+
+const tunerStateVersion = 1
+
+// Snapshot captures the session. It is safe to call at any time — from
+// an Observer callback, between ask/tell rounds, or while a driver is
+// mid-run; in-flight trials are carried as pending and re-dispatched on
+// resume with their original run indices.
+func (tn *Tuner) Snapshot() *TunerState {
+	o := tn.opts
+	return &TunerState{
+		Version:          tunerStateVersion,
+		Topology:         tn.topoName,
+		Nodes:            tn.topoN,
+		Steps:            o.Steps,
+		Set:              o.Set,
+		Seed:             o.Seed,
+		StopAfterZeros:   o.StopAfterZeros,
+		Parallel:         o.Parallel,
+		Candidates:       o.Candidates,
+		HyperSamples:     o.HyperSamples,
+		LocalSearchIters: o.LocalSearchIters,
+		MaxGPPoints:      o.MaxGPPoints,
+		Template:         *o.Template,
+		Cluster:          *o.Cluster,
+		Custom:           tn.custom,
+		Session:          tn.sess.Snapshot(),
+	}
+}
+
+// Save writes the snapshot as JSON.
+func (s *TunerState) Save(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SaveFile writes the snapshot to path, creating or truncating it.
+func (s *TunerState) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadTunerState reads a snapshot from r.
+func LoadTunerState(r io.Reader) (*TunerState, error) {
+	var s TunerState
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("stormtune: decoding tuner state: %w", err)
+	}
+	if s.Version != tunerStateVersion {
+		return nil, fmt.Errorf("stormtune: unsupported tuner state version %d", s.Version)
+	}
+	if s.Session == nil {
+		return nil, fmt.Errorf("stormtune: tuner state has no session")
+	}
+	return &s, nil
+}
+
+// LoadTunerStateFile reads a snapshot from a file.
+func LoadTunerStateFile(path string) (*TunerState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTunerState(f)
+}
+
+// ResumeTuner reconstructs a session from a snapshot against the same
+// topology (and an evaluator of the caller's choice). The snapshot's
+// ask/tell log is replayed against a freshly built optimizer, restoring
+// its state — RNG position included — exactly, so the resumed run
+// continues bit-identically to one that was never interrupted; the
+// replay cross-checks every regenerated configuration and fails if the
+// topology or options diverge from the snapshotted run.
+//
+// opts carries the non-serializable and extendable pieces: Observer,
+// a raised Steps budget (zero keeps the snapshot's), and — for
+// snapshots of sessions that injected a custom Strategy — an equally
+// fresh Strategy instance. All other fields are taken from the
+// snapshot.
+func ResumeTuner(st *TunerState, t *Topology, ev Evaluator, opts TunerOptions) (*Tuner, error) {
+	if st == nil || st.Session == nil {
+		return nil, fmt.Errorf("stormtune: nil tuner state")
+	}
+	if st.Version != tunerStateVersion {
+		return nil, fmt.Errorf("stormtune: unsupported tuner state version %d", st.Version)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("stormtune: nil topology")
+	}
+	if t.N() != st.Nodes {
+		return nil, fmt.Errorf("stormtune: topology has %d nodes, snapshot was taken over %d (%s)",
+			t.N(), st.Nodes, st.Topology)
+	}
+	resolved := TunerOptions{
+		Steps:            st.Steps,
+		Set:              st.Set,
+		Seed:             st.Seed,
+		StopAfterZeros:   st.StopAfterZeros,
+		Parallel:         st.Parallel,
+		Candidates:       st.Candidates,
+		HyperSamples:     st.HyperSamples,
+		LocalSearchIters: st.LocalSearchIters,
+		MaxGPPoints:      st.MaxGPPoints,
+		Template:         &st.Template,
+		Cluster:          &st.Cluster,
+		Observer:         opts.Observer,
+	}
+	if opts.Steps > 0 {
+		resolved.Steps = opts.Steps
+	}
+	if opts.Parallel > 0 {
+		resolved.Parallel = opts.Parallel
+	}
+	if resolved.Parallel < 1 {
+		resolved.Parallel = 1
+	}
+
+	var strat Strategy
+	if st.Custom {
+		if opts.Strategy == nil {
+			return nil, fmt.Errorf("stormtune: snapshot used a custom strategy; pass a fresh one in opts.Strategy")
+		}
+		strat = opts.Strategy
+		resolved.Strategy = opts.Strategy
+	} else {
+		if opts.Strategy != nil {
+			return nil, fmt.Errorf("stormtune: snapshot used the built-in optimizer; opts.Strategy must be nil")
+		}
+		strat = core.NewBO(t, st.Cluster, st.Template, resolved.boOptions())
+	}
+	sess, err := core.ResumeSession(st.Session, strat, ev, core.SessionOptions{
+		MaxSteps:       resolved.Steps,
+		StopAfterZeros: resolved.StopAfterZeros,
+		Observer:       resolved.Observer,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Tuner{
+		sess:     sess,
+		opts:     resolved,
+		topoName: st.Topology,
+		topoN:    st.Nodes,
+		custom:   st.Custom,
+		bound:    st.Cluster.MaxConcurrentTrials(st.Template.TotalTasks()),
+	}, nil
+}
