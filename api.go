@@ -28,7 +28,14 @@ type (
 	Config = storm.Config
 	// Result is one measurement run.
 	Result = storm.Result
-	// Evaluator is the black-box objective (simulated cluster).
+	// Failure classifies a failed run: a configuration the scheduler
+	// could not place (FailurePlacement) is a valid zero-performance
+	// measurement, while a lost measurement (FailureEvaluation) is a
+	// pessimistic stand-in recorded after the retry budget is spent.
+	Failure = storm.Failure
+	// Evaluator is the black-box objective (simulated cluster). Tuning
+	// sessions consume the context-aware Backend contract instead — wrap
+	// an Evaluator with AsBackend.
 	Evaluator = storm.Evaluator
 	// Metric selects the throughput definition.
 	Metric = storm.Metric
@@ -58,6 +65,25 @@ const (
 	Shuffle = topo.Shuffle
 	Fields  = topo.Fields
 )
+
+// Failure classifications.
+const (
+	// FailureNone marks a successful run.
+	FailureNone = storm.FailureNone
+	// FailurePlacement marks an unplaceable configuration (a valid
+	// zero-performance measurement).
+	FailurePlacement = storm.FailurePlacement
+	// FailureTimeout marks a run that never reached steady state.
+	FailureTimeout = storm.FailureTimeout
+	// FailureEvaluation marks a permanently lost measurement, recorded
+	// pessimistically after the retry budget was spent.
+	FailureEvaluation = storm.FailureEvaluation
+)
+
+// FailedResult builds the pessimistic observation a permanently failed
+// trial records; custom Report-driven callers can use it to feed a
+// lost measurement back explicitly.
+func FailedResult(f Failure, msg string) Result { return storm.FailedResult(f, msg) }
 
 // Throughput metrics.
 const (
@@ -166,18 +192,18 @@ func MaxConcurrentTrials(spec ClusterSpec, tasksPerTrial int) int {
 // 2 passes, 30 best-config re-runs).
 func DefaultProtocol() Protocol { return core.DefaultProtocol() }
 
-// RunProtocol executes the full protocol for a strategy family. Each
-// pass runs as a tuning session; see RunProtocolContext for a
-// cancellable variant.
-func RunProtocol(ev Evaluator, factory func(pass int) Strategy, p Protocol) Outcome {
-	return core.RunProtocol(ev, core.StrategyFactory(factory), p)
+// RunProtocol executes the full protocol for a strategy family against
+// a backend (wrap a simulator with AsBackend). Each pass runs as a
+// tuning session; see RunProtocolContext for a cancellable variant.
+func RunProtocol(b Backend, factory func(pass int) Strategy, p Protocol) Outcome {
+	return core.RunProtocol(b, core.StrategyFactory(factory), p)
 }
 
 // RunProtocolContext executes the protocol with cancellation: a
 // cancelled ctx stops mid-pass and returns the work completed so far
 // together with ctx's error.
-func RunProtocolContext(ctx context.Context, ev Evaluator, factory func(pass int) Strategy, p Protocol) (Outcome, error) {
-	return core.RunProtocolContext(ctx, ev, core.StrategyFactory(factory), p)
+func RunProtocolContext(ctx context.Context, b Backend, factory func(pass int) Strategy, p Protocol) (Outcome, error) {
+	return core.RunProtocolContext(ctx, b, core.StrategyFactory(factory), p)
 }
 
 // AutoTuneOptions configure the high-level convenience entry point.
@@ -207,7 +233,7 @@ type AutoTuneOptions struct {
 // Tuner.RunAsync); the session API adds cancellation, events, ask/tell
 // control and snapshot/resume. AutoTune remains as a thin wrapper.
 func AutoTune(t *Topology, ev Evaluator, opts AutoTuneOptions) (Config, Result, error) {
-	tn, err := NewTuner(t, ev, TunerOptions{
+	tn, err := NewTuner(t, AsBackend(ev), TunerOptions{
 		Steps:    opts.Steps,
 		Set:      opts.Set,
 		Template: opts.Template,

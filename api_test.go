@@ -51,7 +51,7 @@ func TestPublicProtocol(t *testing.T) {
 	ev := NewFluidSim(top, PaperCluster(), SinkTuples, 1)
 	p := DefaultProtocol()
 	p.Steps, p.Passes, p.BestReruns = 5, 1, 3
-	out := RunProtocol(ev, func(int) Strategy { return NewIPLA(top, DefaultSyntheticConfig(top, 1)) }, p)
+	out := RunProtocol(AsBackend(ev), func(int) Strategy { return NewIPLA(top, DefaultSyntheticConfig(top, 1)) }, p)
 	if out.Summary.N != 3 {
 		t.Fatalf("summary N = %d", out.Summary.N)
 	}

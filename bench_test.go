@@ -220,7 +220,7 @@ func BenchmarkTunerRunAsync(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ev := stormtune.NewFluidSim(t, spec, stormtune.SinkTuples, 1)
-		tn, err := stormtune.NewTuner(t, ev, stormtune.TunerOptions{
+		tn, err := stormtune.NewTuner(t, stormtune.AsBackend(ev), stormtune.TunerOptions{
 			Steps: 12, Seed: int64(i + 1), Template: &template, Cluster: &spec,
 			Candidates: 150, HyperSamples: 2, LocalSearchIters: 4,
 		})

@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON report, so CI can archive one BENCH_*.json per
+// run and the performance trajectory can be compared across PRs.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchtime=1x ./... | benchjson -o BENCH_results.json
+//
+// Each benchmark line
+//
+//	BenchmarkBOSuggestParallelScorer-8   1   12345678 ns/op   456 B/op   7 allocs/op
+//
+// becomes an entry with the name (CPU suffix stripped), the -N GOMAXPROCS
+// suffix, iteration count, ns/op, and any extra unit metrics go test
+// printed (B/op, allocs/op, custom ReportMetric units).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -N CPU suffix stripped.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from the
+	// preceding "pkg:" line; empty if go test printed none).
+	Package string `json:"package,omitempty"`
+	// Procs is the GOMAXPROCS suffix (-8 → 8); 1 if absent.
+	Procs int `json:"procs"`
+	// Iterations is the b.N the benchmark ran.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"nsPerOp"`
+	// Metrics holds every additional "value unit" pair (B/op,
+	// allocs/op, custom units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file benchjson writes.
+type Report struct {
+	// GeneratedAt is the UTC wall-clock time of the conversion.
+	GeneratedAt time.Time `json:"generatedAt"`
+	// GoVersion, GOOS and GOARCH pin the toolchain and platform.
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Benchmarks holds every parsed result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_results.json", "output path for the JSON report")
+	flag.Parse()
+
+	report := Report{
+		GeneratedAt: time.Now().UTC(),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		// go test prints "pkg: <import path>" between packages.
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if b, ok := parseBenchLine(line, pkg); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+		fmt.Println(line) // pass through so the human log stays intact
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(report.Benchmarks), *out)
+}
+
+// parseBenchLine parses one "BenchmarkX-8 N value ns/op [value unit]..."
+// line; ok is false for any other line.
+func parseBenchLine(line, pkg string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	procs := 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			procs = p
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Package: pkg, Procs: procs, Iterations: iters}
+	// The rest alternates "value unit".
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			seenNs = true
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	return b, seenNs
+}

@@ -1,35 +1,51 @@
-// Command stormtune tunes a topology's configuration on the simulated
-// cluster and prints the best configuration found.
+// Command stormtune tunes a topology's configuration — against the
+// bundled simulated cluster, or against remote worker processes — and
+// can itself serve a simulator as a remote evaluation service.
 //
-// Usage:
+// Tuning (the default subcommand):
 //
-//	stormtune [-topology small|medium|large|sundog] [-spec file.json]
+//	stormtune [tune] [-topology small|medium|large|sundog] [-spec file.json]
 //	          [-strategy pla|ipla|bo|ibo] [-steps N] [-parallel Q]
 //	          [-async] [-timeout D] [-params h|h-bs-bp|bs-bp-cc]
 //	          [-tiim X] [-contention X] [-samples K] [-seed N] [-quiet]
+//	          [-remote URL[,URL...]] [-retries N] [-retry-backoff D]
+//	          [-trial-timeout D]
 //
 // The run is a tuning session: -timeout bounds its wall-clock (the best
 // configuration found so far is reported when the deadline hits, and
 // Ctrl-C does the same), -parallel evaluates that many trial
 // deployments concurrently, and -async switches the concurrent
-// dispatch from barrier batches to free-slot refill (a replacement
-// trial starts the moment any in-flight one completes — faster when
-// trial durations vary). A live progress line tracks completed trials
-// and the best throughput so far.
+// dispatch from barrier batches to free-slot refill. A live progress
+// line tracks completed trials and the best throughput so far.
 //
-// -spec loads a user topology from a JSON file (see examples/customtopo
-// for the schema); -samples averages K measurements per configuration
-// (the §VI noise-reduction proposal). See examples/resume for pausing
-// and resuming a session via snapshots (the Spearmint feature the
-// paper's setup relied on).
+// -remote tunes over the wire instead of in-process: each URL is a
+// worker running `stormtune serve`; several URLs form a pool one
+// session drives concurrently (use -parallel with -async). Lost
+// measurements — timeouts, dropped connections, killed workers — are
+// retried per -retries/-retry-backoff before the trial is recorded as
+// a pessimistic failure; -trial-timeout bounds each attempt.
+//
+// Serving:
+//
+//	stormtune serve [-addr 127.0.0.1:8077] [-topology ...] [-spec ...]
+//	                [-tiim X] [-contention X] [-seed N] [-samples K]
+//	                [-flaky N] [-max-run-seconds S] [-quiet]
+//
+// serve exposes the configured simulator as a JSON-over-HTTP evaluation
+// service (POST /run, GET /info, GET /healthz). -flaky N fails every
+// Nth run with HTTP 500 before evaluation — deterministic fault
+// injection for exercising the client-side retry path.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"stormtune"
@@ -37,45 +53,148 @@ import (
 )
 
 func main() {
-	topoName := flag.String("topology", "small", "topology: small, medium, large or sundog")
-	spec := flag.String("spec", "", "path to a JSON topology spec (overrides -topology)")
-	strategy := flag.String("strategy", "bo", "strategy: pla, ipla, bo or ibo")
-	steps := flag.Int("steps", 60, "evaluation budget")
-	params := flag.String("params", "h", "searched parameters for bo: h, h-bs-bp or bs-bp-cc")
-	tiim := flag.Float64("tiim", 0, "time imbalance for synthetic topologies")
-	cont := flag.Float64("contention", 0, "contentious fraction for synthetic topologies")
-	seed := flag.Int64("seed", 1, "random seed")
-	samples := flag.Int("samples", 1, "measurements to average per configuration (§VI future work)")
-	parallel := flag.Int("parallel", 1, "concurrent trial deployments")
-	async := flag.Bool("async", false, "free-slot refill instead of barrier batches (with -parallel > 1)")
-	timeout := flag.Duration("timeout", 0, "wall-clock budget for the session (0 = none)")
-	quiet := flag.Bool("quiet", false, "suppress the live progress line")
-	flag.Parse()
+	args := os.Args[1:]
+	if len(args) > 0 {
+		switch args[0] {
+		case "serve":
+			runServe(args[1:])
+			return
+		case "tune":
+			args = args[1:]
+		}
+	}
+	runTune(args)
+}
 
+// topoFlags are the topology/evaluator knobs tune and serve share.
+type topoFlags struct {
+	topology *string
+	spec     *string
+	tiim     *float64
+	cont     *float64
+	seed     *int64
+	samples  *int
+}
+
+func addTopoFlags(fs *flag.FlagSet) topoFlags {
+	return topoFlags{
+		topology: fs.String("topology", "small", "topology: small, medium, large or sundog"),
+		spec:     fs.String("spec", "", "path to a JSON topology spec (overrides -topology)"),
+		tiim:     fs.Float64("tiim", 0, "time imbalance for synthetic topologies"),
+		cont:     fs.Float64("contention", 0, "contentious fraction for synthetic topologies"),
+		seed:     fs.Int64("seed", 1, "random seed"),
+		samples:  fs.Int("samples", 1, "measurements to average per configuration (§VI future work)"),
+	}
+}
+
+// build constructs the topology and its simulator evaluator.
+func (tf topoFlags) build() (*stormtune.Topology, stormtune.Evaluator, stormtune.Metric, error) {
 	var t *stormtune.Topology
 	metric := stormtune.SinkTuples
 	switch {
-	case *spec != "":
+	case *tf.spec != "":
 		var err error
-		t, err = topo.LoadJSONFile(*spec)
+		t, err = topo.LoadJSONFile(*tf.spec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "error:", err)
-			os.Exit(1)
+			return nil, nil, metric, err
 		}
-	case *topoName == "sundog":
+	case *tf.topology == "sundog":
 		t = stormtune.Sundog()
 		metric = stormtune.SourceTuples
 	default:
-		t = stormtune.BuildSynthetic(*topoName, stormtune.Condition{TimeImbalance: *tiim, ContentiousFraction: *cont}, *seed)
+		t = stormtune.BuildSynthetic(*tf.topology,
+			stormtune.Condition{TimeImbalance: *tf.tiim, ContentiousFraction: *tf.cont}, *tf.seed)
+	}
+	var ev stormtune.Evaluator = stormtune.NewFluidSim(t, stormtune.PaperCluster(), metric, *tf.seed)
+	if *tf.samples > 1 {
+		ev = stormtune.Averaged(ev, *tf.samples)
+	}
+	return t, ev, metric, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "error:", err)
+	os.Exit(1)
+}
+
+func runServe(args []string) {
+	fs := flag.NewFlagSet("stormtune serve", flag.ExitOnError)
+	tf := addTopoFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	flaky := fs.Int("flaky", 0, "fail every Nth run with HTTP 500 (fault injection; 0 disables)")
+	maxRun := fs.Int("max-run-seconds", 0, "cap a single evaluation's wall-clock (0 = uncapped)")
+	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
+	fs.Parse(args)
+
+	t, ev, metric, err := tf.build()
+	if err != nil {
+		fatal(err)
+	}
+	opts := stormtune.BackendServerOptions{
+		Info: stormtune.RemoteInfo{
+			Topology:    t.Name,
+			Nodes:       t.N(),
+			Metric:      metric.String(),
+			Fingerprint: stormtune.TopologyFingerprint(t),
+		},
+		FailEveryN:    *flaky,
+		MaxRunSeconds: *maxRun,
+	}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv := &http.Server{Addr: *addr, Handler: stormtune.NewBackendHandler(stormtune.AsBackend(ev), opts)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		// Give in-flight evaluations a drain window; killing them would
+		// cost the tuner a retry attempt per connection reset.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	fmt.Printf("serving %s (%d nodes) on http://%s — POST /run, GET /info, GET /healthz\n",
+		t.Name, t.N(), *addr)
+	if *flaky > 0 {
+		fmt.Printf("fault injection: 1 in every %d runs fails with HTTP 500\n", *flaky)
+	}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	<-drained
+}
+
+func runTune(args []string) {
+	fs := flag.NewFlagSet("stormtune", flag.ExitOnError)
+	tf := addTopoFlags(fs)
+	strategy := fs.String("strategy", "bo", "strategy: pla, ipla, bo or ibo")
+	steps := fs.Int("steps", 60, "evaluation budget")
+	params := fs.String("params", "h", "searched parameters for bo: h, h-bs-bp or bs-bp-cc")
+	parallel := fs.Int("parallel", 1, "concurrent trial deployments")
+	async := fs.Bool("async", false, "free-slot refill instead of barrier batches (with -parallel > 1)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the session (0 = none)")
+	remote := fs.String("remote", "", "comma-separated worker URLs (stormtune serve); tunes over HTTP instead of in-process")
+	retries := fs.Int("retries", 3, "evaluation attempts per trial before recording a pessimistic failure")
+	retryBackoff := fs.Duration("retry-backoff", time.Second, "wait before a trial's first retry (doubles per attempt)")
+	trialTimeout := fs.Duration("trial-timeout", 0, "deadline per evaluation attempt (0 = none)")
+	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	fs.Parse(args)
+
+	t, ev, metric, err := tf.build()
+	if err != nil {
+		fatal(err)
 	}
 	clusterSpec := stormtune.PaperCluster()
-	var ev stormtune.Evaluator = stormtune.NewFluidSim(t, clusterSpec, metric, *seed)
-	if *samples > 1 {
-		ev = stormtune.Averaged(ev, *samples)
-	}
 
 	var template stormtune.Config
-	if *topoName == "sundog" {
+	if *tf.topology == "sundog" && *tf.spec == "" {
 		template = stormtune.DefaultConfig(t, 11)
 	} else {
 		template = stormtune.DefaultSyntheticConfig(t, 1)
@@ -94,12 +213,13 @@ func main() {
 	}
 
 	opts := stormtune.TunerOptions{
-		Steps:       *steps,
-		Set:         set,
-		Template:    &template,
-		Cluster:     &clusterSpec,
-		Seed:        *seed,
-		MaxGPPoints: 60,
+		Steps:        *steps,
+		Set:          set,
+		Template:     &template,
+		Cluster:      &clusterSpec,
+		Seed:         *tf.seed,
+		MaxGPPoints:  60,
+		TrialTimeout: *trialTimeout,
 	}
 	switch *strategy {
 	case "pla":
@@ -116,6 +236,54 @@ func main() {
 		os.Exit(2)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// The backend: the in-process simulator, or a pool of remote
+	// workers. Remote evaluations get the retry policy — a lost
+	// measurement is the expected failure mode over a network.
+	var backend stormtune.Backend
+	mode := "in-process simulator"
+	if *remote != "" {
+		if *tf.samples > 1 {
+			// Averaging happens where the measurement runs; the worker
+			// owns the evaluator, so -samples must be given to serve.
+			fmt.Fprintln(os.Stderr, "error: -samples has no effect with -remote; start the worker with `stormtune serve -samples K`")
+			os.Exit(2)
+		}
+		urls := strings.Split(*remote, ",")
+		members := make([]stormtune.Backend, 0, len(urls))
+		for _, u := range urls {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			rb := stormtune.NewRemoteBackend(u, stormtune.RemoteBackendOptions{
+				TransportRetries: 2,
+			})
+			if _, err := stormtune.CheckRemoteBackend(ctx, rb, t, metric); err != nil {
+				fatal(err)
+			}
+			members = append(members, rb)
+		}
+		backend, err = stormtune.NewBackendPool(members...)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Retry = stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+		mode = fmt.Sprintf("%d remote worker(s)", len(members))
+	} else {
+		backend = stormtune.AsBackend(ev)
+		if *retries > 1 {
+			opts.Retry = stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+		}
+	}
+
 	// Live progress from the session's event stream.
 	var completed int
 	var bestSoFar float64
@@ -128,39 +296,40 @@ func main() {
 			if !*quiet {
 				fmt.Printf("\rtrial %3d/%d   best %12.0f tuples/s", completed, *steps, bestSoFar)
 			}
+		case stormtune.TrialFailed:
+			if ev.Permanent {
+				fmt.Fprintf(os.Stderr, "\ntrial %d failed permanently after %d attempts: %v\n",
+					ev.Trial.ID, ev.Attempt, ev.Err)
+			}
+		case stormtune.TrialRetried:
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "\ntrial %d lost (attempt %d), retrying in %s: %v\n",
+					ev.Trial.ID, ev.Attempt-1, ev.Backoff, ev.Err)
+			}
 		case stormtune.ParallelismClamped:
 			fmt.Fprintf(os.Stderr, "\nnote: -parallel %d exceeds cluster capacity, clamped to %d\n",
 				ev.Requested, ev.Allowed)
 		}
 	})
 
-	tn, err := stormtune.NewTuner(t, ev, opts)
+	tn, err := stormtune.NewTuner(t, backend, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "error:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-
-	mode := "sequential"
+	dispatch := "sequential"
 	switch {
 	case *async && *parallel > 1:
-		mode = fmt.Sprintf("async free-slot refill, %d slots", *parallel)
+		dispatch = fmt.Sprintf("async free-slot refill, %d slots", *parallel)
 	case *parallel > 1:
-		mode = fmt.Sprintf("barrier batches of %d", *parallel)
+		dispatch = fmt.Sprintf("barrier batches of %d", *parallel)
 	}
 	name := *strategy
 	if opts.Strategy != nil {
 		name = opts.Strategy.Name()
 	}
-	fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps (%s)...\n",
-		t.Name, t.N(), name, *steps, mode)
+	fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps (%s, %s)...\n",
+		t.Name, t.N(), name, *steps, dispatch, mode)
 
 	start := time.Now()
 	var tr stormtune.TuneResult

@@ -46,7 +46,7 @@
 //	}
 //	best, _ := tn.Best()
 //
-// Three drivers automate the loop against a configured Evaluator, all
+// Three drivers automate the loop against a configured Backend, all
 // honoring context cancellation and deadlines:
 //
 //   - Tuner.Run(ctx) — one trial at a time, the paper's procedure;
@@ -59,23 +59,82 @@
 //     (real deployments have stragglers). q is clamped to
 //     ClusterSpec.MaxConcurrentTrials rather than oversubscribing.
 //
-// Sessions emit typed events (TrialStarted, TrialCompleted, NewBest,
-// PassCompleted, ParallelismClamped) to a registered Observer — the CLI
-// renders its live progress line from them — and can be paused at any
-// point: Tuner.Snapshot serializes the records, pending trials and
-// ask/tell log; ResumeTuner replays that log against a freshly built
-// optimizer so the resumed run continues bit-identically to an
-// uninterrupted one, RNG state included.
+// Sessions emit typed events (TrialStarted, TrialCompleted,
+// TrialFailed, TrialRetried, NewBest, PassCompleted,
+// ParallelismClamped) to a registered Observer — the CLI renders its
+// live progress line from them — and can be paused at any point:
+// Tuner.Snapshot serializes the records, pending trials (attempt
+// counts included) and ask/tell log; ResumeTuner replays that log
+// against a freshly built optimizer so the resumed run continues
+// bit-identically to an uninterrupted one, RNG state included.
+//
+// # Backends, failures and retries
+//
+// Trials are evaluated through the Backend contract:
+//
+//	Run(ctx context.Context, tr Trial) (Result, error)
+//
+// ctx carries the session's cancellation and the trial's deadline
+// (TunerOptions.TrialTimeout); Trial carries the configuration, run
+// index, trial ID and retry attempt. The two return paths are distinct
+// on purpose, following the observation that stream-processor
+// measurements on shared infrastructure get lost, not just noisy:
+//
+//   - A Result with Failed set is a valid measurement of a bad
+//     configuration — the scheduler could not place it
+//     (FailurePlacement) — and teaches the optimizer to avoid the
+//     region.
+//   - A non-nil error means the measurement was lost: a timeout, a
+//     dropped connection, a crashed worker. The session's RetryPolicy
+//     (TunerOptions.Retry) re-dispatches the trial with exponential
+//     backoff; because the retry re-uses the trial's RunIndex, a
+//     recovered measurement is bit-identical to one that never failed.
+//     When the attempt budget is spent, the session records a
+//     pessimistic FailedResult (FailureEvaluation) and moves on.
+//
+// AsBackend adapts any Evaluator (both simulators, Averaged, Jittered)
+// to the contract. Migrating pre-Backend code is mechanical:
+//
+//	tn, _ := stormtune.NewTuner(t, ev, opts)                      // before
+//	tn, _ := stormtune.NewTuner(t, stormtune.AsBackend(ev), opts) // after
 //
 // Quick start with a driver:
 //
 //	t := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
 //	ev := stormtune.NewFluidSim(t, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
-//	tn, _ := stormtune.NewTuner(t, ev, stormtune.TunerOptions{Steps: 60})
+//	tn, _ := stormtune.NewTuner(t, stormtune.AsBackend(ev), stormtune.TunerOptions{Steps: 60})
 //	res, _ := tn.RunAsync(ctx, 4)
 //
 // The one-shot entry points Tune, TuneBatch and AutoTune remain as thin
-// deprecated wrappers over the session API.
+// deprecated wrappers over the session API (they still accept a bare
+// Evaluator).
+//
+// # Remote evaluation
+//
+// Any Backend can be served as a JSON-over-HTTP evaluation service and
+// driven from another process — tuning as a service, decoupled from
+// the machines that run the measurements. The `stormtune serve`
+// subcommand exposes a simulator this way (POST /run, GET /info, GET
+// /healthz; NewBackendHandler does the same for embedding), and
+// NewRemoteBackend is the client:
+//
+//	// worker processes:  stormtune serve -addr 127.0.0.1:8077
+//	bk := stormtune.NewRemoteBackend("http://127.0.0.1:8077", stormtune.RemoteBackendOptions{})
+//	info, err := stormtune.CheckRemoteBackend(ctx, bk, t, stormtune.SinkTuples) // fail fast on mismatch
+//	tn, _ := stormtune.NewTuner(t, bk, stormtune.TunerOptions{
+//		Steps: 60,
+//		Retry: stormtune.RetryPolicy{MaxAttempts: 4, Backoff: time.Second},
+//	})
+//	res, _ := tn.RunAsync(ctx, 4)
+//
+// A RemoteBackend is safe for concurrent trials; NewBackendPool
+// combines one client per worker so a single session saturates a pool
+// of worker processes. Setting RemoteBackendOptions.TransportRetries
+// additionally re-POSTs requests whose transport failed (connection
+// refused, reset) before involving the session at all — safe because
+// evaluations are pure functions of (config, run index); it defaults
+// to 0, so by default every lost round trip surfaces to the
+// RetryPolicy like any other lost evaluation.
 //
 // # Concurrent trials
 //

@@ -1,9 +1,11 @@
 // Customtopo: define your own topology as a JSON spec, load it, and
-// let the optimizer configure it — the workflow a downstream user of
-// the library follows for their own Storm application.
+// let a tuning session configure it — the workflow a downstream user of
+// the library follows for their own Storm application, on the
+// session/Backend API (cancellation, typed events, retry semantics).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -47,12 +49,28 @@ func main() {
 	base := ev.Run(manual, 0)
 	fmt.Printf("manual config (h=4):     %8.0f tuples/s (bottleneck %s)\n", base.Throughput, base.Bottleneck)
 
-	cfg, res, err := stormtune.AutoTune(top, ev, stormtune.AutoTuneOptions{
-		Steps: 40, Set: stormtune.HintsBatch, Template: &manual, Seed: 2,
+	// A tuning session over the simulator wrapped as a Backend. The
+	// retry policy matters on real clusters where measurements get lost;
+	// it is free here and shows the intended wiring.
+	tn, err := stormtune.NewTuner(top, stormtune.AsBackend(ev), stormtune.TunerOptions{
+		Steps:    40,
+		Set:      stormtune.HintsBatch,
+		Template: &manual,
+		Seed:     2,
+		Retry:    stormtune.RetryPolicy{MaxAttempts: 3},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	tr, err := tn.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, ok := tr.Best()
+	if !ok {
+		log.Fatal("no successful run")
+	}
+	cfg, res := best.Config, best.Result
 	fmt.Printf("auto-tuned (h+bs+bp):    %8.0f tuples/s (bottleneck %s)\n", res.Throughput, res.Bottleneck)
 	fmt.Printf("gain:                    %.2fx\n", res.Throughput/base.Throughput)
 	fmt.Printf("hints: %v  batch: size=%d parallelism=%d\n",

@@ -20,12 +20,13 @@ func main() {
 		top.Name, top.N(), len(top.Spouts()), len(top.Sinks()))
 
 	// The simulated cluster is the black-box objective: config in,
-	// measured tuples/s out.
+	// measured tuples/s out. AsBackend adapts it to the session's
+	// context-aware Backend contract.
 	ev := stormtune.NewFluidSim(top, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
 
 	// Driver mode: a session with free-slot async dispatch (4 trials in
 	// flight; a replacement starts the moment any one completes).
-	tn, err := stormtune.NewTuner(top, ev, stormtune.TunerOptions{Steps: 30, Seed: 3})
+	tn, err := stormtune.NewTuner(top, stormtune.AsBackend(ev), stormtune.TunerOptions{Steps: 30, Seed: 3})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,8 +22,8 @@ import (
 
 func main() {
 	top := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
-	newEval := func() stormtune.Evaluator {
-		return stormtune.NewFluidSim(top, stormtune.PaperCluster(), stormtune.SinkTuples, 1)
+	newBackend := func() stormtune.Backend {
+		return stormtune.AsBackend(stormtune.NewFluidSim(top, stormtune.PaperCluster(), stormtune.SinkTuples, 1))
 	}
 	opts := stormtune.TunerOptions{Steps: 25, Seed: 5}
 	statePath := filepath.Join(os.TempDir(), "stormtune-resume-example.json")
@@ -40,7 +40,7 @@ func main() {
 			}
 		}
 	})
-	tn, err := stormtune.NewTuner(top, newEval(), opts)
+	tn, err := stormtune.NewTuner(top, newBackend(), opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	resumed, err := stormtune.ResumeTuner(st, top, newEval(), stormtune.TunerOptions{})
+	resumed, err := stormtune.ResumeTuner(st, top, newBackend(), stormtune.TunerOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 // Sundog: reproduce the §V-D headline result on the real-world entity
 // ranking topology — tuning only parallelism hints is flat, while
 // adding batch size and batch parallelism to the search space yields a
-// multi-x throughput gain (2.8x in the paper).
+// multi-x throughput gain (2.8x in the paper) — driven through the
+// session/Backend API.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
 	"stormtune"
 )
@@ -14,6 +17,8 @@ func main() {
 	sd := stormtune.Sundog()
 	spec := stormtune.PaperCluster()
 	ev := stormtune.NewFluidSim(sd, spec, stormtune.SourceTuples, 7)
+	backend := stormtune.AsBackend(ev)
+	ctx := context.Background()
 
 	// The manually tuned deployment the Sundog developers used:
 	// batch size 50 000, batch parallelism 5, thread pool 8.
@@ -21,15 +26,42 @@ func main() {
 	base := ev.Run(manual, 0)
 	fmt.Printf("manual config (h=11, bs=50k, bp=5): %.0f tuples/s\n", base.Throughput)
 
-	// Hints only (what pla/bo.h search).
-	pla := stormtune.Tune(ev, stormtune.NewPLA(sd, manual), 40, 3)
+	// Hints only (what pla/bo.h search): a session with the linear
+	// baseline injected as a custom strategy.
+	plaSession, err := stormtune.NewTuner(sd, backend, stormtune.TunerOptions{
+		Steps:          40,
+		Template:       &manual,
+		Cluster:        &spec,
+		Strategy:       stormtune.NewPLA(sd, manual),
+		StopAfterZeros: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pla, err := plaSession.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	plaBest, _ := pla.Best()
 	fmt.Printf("pla over hints:                     %.0f tuples/s (h=%d)\n",
 		plaBest.Result.Throughput, plaBest.Config.Hints[0])
 
-	// Hints + batch size + batch parallelism: the paper's winning set.
-	bo := stormtune.NewBO(sd, spec, manual, stormtune.BOOptions{Set: stormtune.HintsBatch, Seed: 3})
-	tr := stormtune.Tune(ev, bo, 60, 0)
+	// Hints + batch size + batch parallelism: the paper's winning set,
+	// on the built-in Bayesian optimizer.
+	boSession, err := stormtune.NewTuner(sd, backend, stormtune.TunerOptions{
+		Steps:    60,
+		Set:      stormtune.HintsBatch,
+		Template: &manual,
+		Cluster:  &spec,
+		Seed:     3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := boSession.Run(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
 	best, ok := tr.Best()
 	if !ok {
 		fmt.Println("bo found nothing")

@@ -17,7 +17,9 @@ func main() {
 		top.Name, top.N(), 100*top.ContentiousShare())
 
 	spec := stormtune.PaperCluster()
-	ev := stormtune.NewFluidSim(top, spec, stormtune.SinkTuples, 7)
+	// The protocol consumes the Backend contract; AsBackend wraps the
+	// simulator (a RemoteBackend would slot in the same way).
+	backend := stormtune.AsBackend(stormtune.NewFluidSim(top, spec, stormtune.SinkTuples, 7))
 	template := stormtune.DefaultSyntheticConfig(top, 1)
 
 	proto := stormtune.DefaultProtocol()
@@ -46,7 +48,7 @@ func main() {
 		} else {
 			p.StopAfterZeros = 0
 		}
-		out := stormtune.RunProtocol(ev, factory, p)
+		out := stormtune.RunProtocol(backend, factory, p)
 		fmt.Printf("%-8s  %10.0f [%.0f..%.0f]      %v\n",
 			name, out.Summary.Mean, out.Summary.Min, out.Summary.Max, out.StepsToBest)
 	}

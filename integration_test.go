@@ -84,8 +84,8 @@ func TestParallelRerunsDeterministic(t *testing.T) {
 	factory := func(int) stormtune.Strategy {
 		return stormtune.NewIPLA(top, stormtune.DefaultSyntheticConfig(top, 1))
 	}
-	a := stormtune.RunProtocol(ev, factory, p)
-	b := stormtune.RunProtocol(ev, factory, p)
+	a := stormtune.RunProtocol(stormtune.AsBackend(ev), factory, p)
+	b := stormtune.RunProtocol(stormtune.AsBackend(ev), factory, p)
 	if a.Summary != b.Summary {
 		t.Fatalf("parallel reruns nondeterministic: %+v vs %+v", a.Summary, b.Summary)
 	}

@@ -282,7 +282,7 @@ func TestProtocolConcurrencyShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := RunProtocol(f, factory, p)
+	out := RunProtocol(AsBackend(f), factory, p)
 	if len(out.Passes) != 2 {
 		t.Fatalf("want 2 passes, got %d", len(out.Passes))
 	}
@@ -304,7 +304,7 @@ func TestRunProtocolShape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := RunProtocol(f, factory, p)
+	out := RunProtocol(AsBackend(f), factory, p)
 	if out.Strategy != "pla" {
 		t.Fatalf("strategy = %s", out.Strategy)
 	}

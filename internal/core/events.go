@@ -1,11 +1,15 @@
 package core
 
-import "stormtune/internal/storm"
+import (
+	"time"
+
+	"stormtune/internal/storm"
+)
 
 // Event is a typed notification emitted by a tuning session. The
-// concrete types are TrialStarted, TrialCompleted, NewBest,
-// PassCompleted and ParallelismClamped; switch on them to react to the
-// ones of interest.
+// concrete types are TrialStarted, TrialCompleted, TrialFailed,
+// TrialRetried, NewBest, PassCompleted and ParallelismClamped; switch
+// on them to react to the ones of interest.
 type Event interface{ sessionEvent() }
 
 // TrialStarted reports that a trial has been handed out for evaluation
@@ -19,6 +23,34 @@ type TrialStarted struct {
 type TrialCompleted struct {
 	Trial  Trial
 	Result storm.Result
+}
+
+// TrialFailed reports that an evaluation attempt errored: the
+// measurement was lost (timeout, dropped connection, crashed run), not
+// merely zero. With Permanent false the session will retry the trial
+// (a TrialRetried event follows); with Permanent true the retry budget
+// is spent and the session records a pessimistic failed observation —
+// the TrialCompleted that follows carries it.
+type TrialFailed struct {
+	Trial Trial
+	// Attempt is the 1-based evaluation attempt that failed.
+	Attempt int
+	// Err is the backend's evaluation error.
+	Err error
+	// Permanent marks the retry budget as exhausted.
+	Permanent bool
+}
+
+// TrialRetried reports that a failed trial is being re-attempted after
+// the backoff elapses.
+type TrialRetried struct {
+	Trial Trial
+	// Attempt is the 1-based attempt about to start.
+	Attempt int
+	// Backoff is the wait before the attempt.
+	Backoff time.Duration
+	// Err is the error being retried.
+	Err error
 }
 
 // NewBest reports that a completed trial improved on the best
@@ -49,14 +81,18 @@ type ParallelismClamped struct {
 
 func (TrialStarted) sessionEvent()       {}
 func (TrialCompleted) sessionEvent()     {}
+func (TrialFailed) sessionEvent()        {}
+func (TrialRetried) sessionEvent()       {}
 func (NewBest) sessionEvent()            {}
 func (PassCompleted) sessionEvent()      {}
 func (ParallelismClamped) sessionEvent() {}
 
-// Observer receives session events. Callbacks are invoked synchronously
-// from the goroutine driving the session (for the built-in drivers, one
-// goroutine), in emission order; they must not block for long and may
-// call Session.Snapshot but no other session methods.
+// Observer receives session events. Callbacks are serialized — at most
+// one runs at a time — but with a concurrent driver (RunBatch,
+// RunAsync) the TrialFailed/TrialRetried events of different in-flight
+// trials may interleave with the main stream, each from its evaluation
+// goroutine. Callbacks must not block for long and may call
+// Session.Snapshot but no other session methods.
 type Observer interface {
 	OnEvent(Event)
 }

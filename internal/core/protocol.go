@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"stormtune/internal/cluster"
 	"stormtune/internal/stats"
@@ -41,6 +42,11 @@ type Protocol struct {
 	// free-slot refill (a replacement trial starts the moment any
 	// in-flight one completes). Only meaningful with Concurrency > 1.
 	Async bool
+	// Retry governs lost evaluations within each pass (see
+	// SessionOptions.Retry); the zero value never retries.
+	Retry RetryPolicy
+	// TrialTimeout bounds each evaluation attempt; zero disables.
+	TrialTimeout time.Duration
 	// Observer, when set, receives each pass's session events.
 	Observer Observer
 }
@@ -75,9 +81,10 @@ type Outcome struct {
 	MeanDecisionSec []float64
 }
 
-// RunProtocol executes the protocol for one strategy family.
-func RunProtocol(ev storm.Evaluator, factory StrategyFactory, p Protocol) Outcome {
-	out, _ := RunProtocolContext(context.Background(), ev, factory, p)
+// RunProtocol executes the protocol for one strategy family against a
+// backend (wrap a simulator with AsBackend).
+func RunProtocol(bk Backend, factory StrategyFactory, p Protocol) Outcome {
+	out, _ := RunProtocolContext(context.Background(), bk, factory, p)
 	return out
 }
 
@@ -85,8 +92,9 @@ func RunProtocol(ev storm.Evaluator, factory StrategyFactory, p Protocol) Outcom
 // runs as a tuning session honoring ctx, and a cancelled protocol
 // returns the passes (and partial pass) completed so far together with
 // ctx's error. The re-runs of the winning configuration are skipped on
-// cancellation.
-func RunProtocolContext(ctx context.Context, ev storm.Evaluator, factory StrategyFactory, p Protocol) (Outcome, error) {
+// cancellation; a re-run whose evaluation is lost contributes a zero
+// sample (the passes themselves retry per Protocol.Retry).
+func RunProtocolContext(ctx context.Context, bk Backend, factory StrategyFactory, p Protocol) (Outcome, error) {
 	if p.Steps <= 0 {
 		p.Steps = 60
 	}
@@ -104,10 +112,12 @@ func RunProtocolContext(ctx context.Context, ev storm.Evaluator, factory Strateg
 			out.Strategy = strat.Name()
 		}
 		runOffset := pass * (p.Steps + p.BestReruns + 1000)
-		sess := NewSession(strat, ev, SessionOptions{
+		sess := NewSession(strat, bk, SessionOptions{
 			MaxSteps:       p.Steps,
 			StopAfterZeros: p.StopAfterZeros,
 			RunOffset:      runOffset,
+			Retry:          p.Retry,
+			TrialTimeout:   p.TrialTimeout,
 			Observer:       p.Observer,
 		})
 		var tr TuneResult
@@ -137,6 +147,7 @@ func RunProtocolContext(ctx context.Context, ev storm.Evaluator, factory Strateg
 	// deterministic because the noise draw depends only on (config,
 	// run index).
 	vals := make([]float64, p.BestReruns)
+	finished := make([]bool, p.BestReruns)
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.NumCPU())
 	for i := 0; i < p.BestReruns; i++ {
@@ -145,12 +156,28 @@ func RunProtocolContext(ctx context.Context, ev storm.Evaluator, factory Strateg
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			vals[i] = ev.Run(out.BestConfig, 1_000_000+i).Throughput
+			// Re-runs honor the same retry policy as the passes; a
+			// re-run lost past the retry budget contributes a zero
+			// sample, but one interrupted by cancellation contributes
+			// nothing — phantom zeros would corrupt the summary.
+			tr := Trial{ID: -1, Config: out.BestConfig, RunIndex: 1_000_000 + i, Timeout: p.TrialTimeout}
+			res, _, ok := retryRun(ctx, bk, tr, p.Retry, nil)
+			if ok {
+				vals[i], finished[i] = res.Throughput, true
+			}
 		}(i)
 	}
 	wg.Wait()
-	out.Summary = stats.Summarize(vals)
-	out.RerunSamples = vals
+	samples := vals[:0:0]
+	for i, ok := range finished {
+		if ok {
+			samples = append(samples, vals[i])
+		}
+	}
+	if len(samples) > 0 {
+		out.Summary = stats.Summarize(samples)
+	}
+	out.RerunSamples = samples
 	return out, ctx.Err()
 }
 

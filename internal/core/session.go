@@ -20,6 +20,16 @@ type Trial struct {
 	ID       int
 	Config   storm.Config
 	RunIndex int
+	// Attempt: on a trial handed to Backend.Run, the 1-based evaluation
+	// attempt this dispatch is; on a pending/snapshotted trial, the
+	// failed attempts consumed so far — a resumed session continues the
+	// retry budget where it left off (interrupted-but-not-failed
+	// attempts burn nothing).
+	Attempt int
+	// Timeout is the trial's evaluation deadline (zero = none): drivers
+	// cancel the context passed to Backend.Run when it expires, and
+	// remote backends forward it so the server abandons the run too.
+	Timeout time.Duration
 	// Decision is the optimizer decision time attributed to this trial
 	// (a batch's decision time amortized over the batch).
 	Decision time.Duration
@@ -36,25 +46,45 @@ type SessionOptions struct {
 	// RunOffset shifts evaluator run indices (protocol passes use it to
 	// decorrelate noise draws between passes).
 	RunOffset int
+	// Retry governs evaluation failures (Backend.Run errors): how often
+	// a trial is re-attempted and with what backoff before the session
+	// gives up and records a pessimistic observation. The zero value
+	// never retries.
+	Retry RetryPolicy
+	// TrialTimeout bounds each evaluation attempt's wall-clock; trials
+	// carry it as their deadline. Zero means unbounded.
+	TrialTimeout time.Duration
 	// Observer receives the session's typed events; nil disables.
 	Observer Observer
 }
 
-// ErrNoEvaluator is returned by the drivers of a session constructed
-// without an evaluator (pure ask/tell use).
-var ErrNoEvaluator = errors.New("core: session has no evaluator; drive it via Propose/Report")
+// ErrNoBackend is returned by the drivers of a session constructed
+// without a backend (pure ask/tell use).
+var ErrNoBackend = errors.New("core: session has no backend; drive it via Propose/Report")
+
+// ErrNoEvaluator is the historical name of ErrNoBackend.
+//
+// Deprecated: use ErrNoBackend.
+var ErrNoEvaluator = ErrNoBackend
 
 // Session is an interruptible ask/tell tuning run: Propose hands out
 // trials, Report feeds measurements back, and the Run/RunBatch/RunAsync
-// drivers automate the loop against an evaluator. All methods are safe
-// for concurrent use; the built-in drivers call Propose and Report from
-// a single goroutine so their event order and results are deterministic
-// for a fixed seed (RunAsync: fixed seed and completion order).
+// drivers automate the loop against a Backend — retrying lost
+// evaluations per the RetryPolicy and recording pessimistic
+// observations when a trial permanently fails. All methods are safe for
+// concurrent use; the built-in drivers report results from a single
+// goroutine so their record order is deterministic for a fixed seed
+// (RunAsync: fixed seed and completion order).
 type Session struct {
 	mu    sync.Mutex
 	strat Strategy
-	ev    storm.Evaluator
+	bk    Backend
 	opts  SessionOptions
+
+	// obsMu serializes observer callbacks: concurrent drivers evaluate
+	// several trials at once and their retry events may interleave, but
+	// each callback runs alone.
+	obsMu sync.Mutex
 
 	issued    int
 	records   []RunRecord
@@ -67,25 +97,27 @@ type Session struct {
 	exhausted bool
 }
 
-// NewSession starts a session for a strategy. ev may be nil when the
+// NewSession starts a session for a strategy. bk may be nil when the
 // caller drives evaluations itself through Propose/Report — e.g.
 // against a real external cluster.
-func NewSession(strat Strategy, ev storm.Evaluator, opts SessionOptions) *Session {
+func NewSession(strat Strategy, bk Backend, opts SessionOptions) *Session {
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = 60
 	}
-	return &Session{strat: strat, ev: ev, opts: opts}
+	return &Session{strat: strat, bk: bk, opts: opts}
 }
 
 // Strategy returns the session's strategy.
 func (s *Session) Strategy() Strategy { return s.strat }
 
-// emit dispatches events outside the state lock, preserving the order
-// they were produced in (drivers emit from one goroutine).
+// emit dispatches events outside the state lock. Callbacks are
+// serialized (obsMu) and a multi-event batch is delivered atomically.
 func (s *Session) emit(evs ...Event) {
 	if s.opts.Observer == nil {
 		return
 	}
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
 	for _, e := range evs {
 		s.opts.Observer.OnEvent(e)
 	}
@@ -141,7 +173,10 @@ func (s *Session) propose(ctx context.Context, n int, fillPending bool) ([]Trial
 	evs := make([]Event, len(cfgs))
 	for i, cfg := range cfgs {
 		s.issued++
-		trials[i] = Trial{ID: s.issued, Config: cfg, RunIndex: s.opts.RunOffset + s.issued, Decision: per}
+		trials[i] = Trial{
+			ID: s.issued, Config: cfg, RunIndex: s.opts.RunOffset + s.issued,
+			Timeout: s.opts.TrialTimeout, Decision: per,
+		}
 		evs[i] = TrialStarted{Trial: trials[i]}
 	}
 	s.pending = append(s.pending, trials...)
@@ -178,17 +213,73 @@ func (s *Session) Report(tr Trial, res storm.Result) error {
 		s.bestStep = p.ID
 		evs = append(evs, NewBest{Trial: p, Result: res})
 	}
-	if res.Failed || res.Throughput == 0 {
-		s.zeros++
-		if s.opts.StopAfterZeros > 0 && s.zeros >= s.opts.StopAfterZeros {
-			s.stopped = true
+	// The consecutive-zeros stopping rule reacts to *measured* zero
+	// performance. A pessimistic FailureEvaluation record is a stand-in
+	// for a lost measurement, not a measurement — it must not let an
+	// infrastructure outage permanently stop the session (the stopped
+	// flag survives snapshots), so it leaves the streak untouched.
+	if res.Failure != storm.FailureEvaluation {
+		if res.Failed || res.Throughput == 0 {
+			s.zeros++
+			if s.opts.StopAfterZeros > 0 && s.zeros >= s.opts.StopAfterZeros {
+				s.stopped = true
+			}
+		} else {
+			s.zeros = 0
 		}
-	} else {
-		s.zeros = 0
 	}
 	s.mu.Unlock()
 	s.emit(evs...)
 	return nil
+}
+
+// noteFailedAttempt records on the pending trial how many evaluation
+// attempts have *failed*, so a snapshot taken while the trial is
+// retrying carries exactly the retry budget consumed. An attempt that
+// was merely interrupted by cancellation is not a failure and burns
+// nothing — pausing and resuming a session repeatedly must not drain
+// the budget.
+func (s *Session) noteFailedAttempt(id, failed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.pending {
+		if s.pending[i].ID == id {
+			s.pending[i].Attempt = failed
+			return
+		}
+	}
+}
+
+// evaluate runs one trial against the backend under the session's
+// retry policy (the shared retryRun loop), emitting the failure/retry
+// events. ok is false when the parent context was cancelled (or its
+// deadline hit) before a result or a permanent failure was reached:
+// the trial then stays pending — a snapshot carries it, consumed
+// attempts included, and a resumed session re-dispatches it.
+//
+// A permanent failure (attempt budget spent) returns ok=true with a
+// pessimistic storm.FailedResult, which the caller reports like any
+// measurement: the optimizer observes zero and steers away.
+func (s *Session) evaluate(ctx context.Context, tr Trial) (storm.Result, bool) {
+	res, err, ok := retryRun(ctx, s.bk, tr, s.opts.Retry,
+		func(ft Trial, attempt int, ferr error, permanent bool) {
+			s.noteFailedAttempt(ft.ID, attempt)
+			if permanent {
+				s.emit(TrialFailed{Trial: ft, Attempt: attempt, Err: ferr, Permanent: true})
+				return
+			}
+			s.emit(
+				TrialFailed{Trial: ft, Attempt: attempt, Err: ferr},
+				TrialRetried{Trial: ft, Attempt: attempt + 1, Backoff: s.opts.Retry.delay(attempt + 1), Err: ferr},
+			)
+		})
+	if !ok {
+		return storm.Result{}, false
+	}
+	if err != nil {
+		return storm.FailedResult(storm.FailureEvaluation, err.Error()), true
+	}
+	return res, true
 }
 
 // Pending returns the trials proposed but not yet reported, in issue
@@ -227,10 +318,11 @@ func (s *Session) finish(err error) (TuneResult, error) {
 
 // Run drives the session sequentially: one trial at a time until the
 // budget is spent, the strategy exhausts, the stopping rule fires, or
-// ctx is cancelled (the partial result is returned with ctx's error).
+// ctx is cancelled (the partial result is returned with ctx's error;
+// an in-flight trial stays pending for a snapshot to carry).
 func (s *Session) Run(ctx context.Context) (TuneResult, error) {
-	if s.ev == nil {
-		return s.Result(), ErrNoEvaluator
+	if s.bk == nil {
+		return s.Result(), ErrNoBackend
 	}
 	carry := s.Pending() // trials issued before a snapshot/resume
 	for {
@@ -250,7 +342,10 @@ func (s *Session) Run(ctx context.Context) (TuneResult, error) {
 			}
 			tr = trials[0]
 		}
-		res := s.ev.Run(tr.Config, tr.RunIndex)
+		res, ok := s.evaluate(ctx, tr)
+		if !ok {
+			return s.finish(ctx.Err())
+		}
 		if err := s.Report(tr, res); err != nil {
 			return s.finish(err)
 		}
@@ -265,8 +360,8 @@ func (s *Session) RunBatch(ctx context.Context, q int) (TuneResult, error) {
 	if q <= 1 {
 		return s.Run(ctx)
 	}
-	if s.ev == nil {
-		return s.Result(), ErrNoEvaluator
+	if s.bk == nil {
+		return s.Result(), ErrNoBackend
 	}
 	carry := s.Pending()
 	for {
@@ -293,19 +388,30 @@ func (s *Session) RunBatch(ctx context.Context, q int) (TuneResult, error) {
 			}
 		}
 		results := make([]storm.Result, len(trials))
+		completed := make([]bool, len(trials))
 		var wg sync.WaitGroup
 		for i, tr := range trials {
 			wg.Add(1)
 			go func(i int, tr Trial) {
 				defer wg.Done()
-				results[i] = s.ev.Run(tr.Config, tr.RunIndex)
+				results[i], completed[i] = s.evaluate(ctx, tr)
 			}(i, tr)
 		}
 		wg.Wait()
+		// Report completions in trial order for deterministic records;
+		// cancelled evaluations stay pending.
+		cancelled := false
 		for i, tr := range trials {
+			if !completed[i] {
+				cancelled = true
+				continue
+			}
 			if err := s.Report(tr, results[i]); err != nil {
 				return s.finish(err)
 			}
+		}
+		if cancelled {
+			return s.finish(ctx.Err())
 		}
 	}
 }
@@ -317,8 +423,8 @@ func (s *Session) RunBatch(ctx context.Context, q int) (TuneResult, error) {
 // durations. Results are deterministic given the seed and the order in
 // which evaluations complete; at q = 1 the driver is exactly Run.
 func (s *Session) RunAsync(ctx context.Context, q int) (TuneResult, error) {
-	if s.ev == nil {
-		return s.Result(), ErrNoEvaluator
+	if s.bk == nil {
+		return s.Result(), ErrNoBackend
 	}
 	if q < 1 {
 		q = 1
@@ -339,12 +445,22 @@ func (s *Session) RunAsync(ctx context.Context, q int) (TuneResult, error) {
 		}
 		return out
 	}
-	run := func(_ context.Context, tr Trial) storm.Result {
-		return s.ev.Run(tr.Config, tr.RunIndex)
+	type outcome struct {
+		res storm.Result
+		ok  bool
+	}
+	run := func(ctx context.Context, tr Trial) outcome {
+		res, ok := s.evaluate(ctx, tr)
+		return outcome{res: res, ok: ok}
 	}
 	var reportErr error
-	report := func(tr Trial, res storm.Result) bool {
-		if err := s.Report(tr, res); err != nil {
+	report := func(tr Trial, o outcome) bool {
+		if !o.ok {
+			// Cancelled mid-evaluation: the trial stays pending and the
+			// loop stops issuing; ctx.Err() is surfaced by the loop.
+			return false
+		}
+		if err := s.Report(tr, o.res); err != nil {
 			if reportErr == nil {
 				reportErr = err
 			}

@@ -72,7 +72,7 @@ func TestSessionRunAsyncOneSlotMatchesTune(t *testing.T) {
 	tp := testTopo()
 	f := testEval(tp)
 	want := Tune(f, newTestBO(4), 10, 0, 0)
-	sess := NewSession(newTestBO(4), f, SessionOptions{MaxSteps: 10})
+	sess := NewSession(newTestBO(4), AsBackend(f), SessionOptions{MaxSteps: 10})
 	got, err := sess.RunAsync(context.Background(), 1)
 	if err != nil {
 		t.Fatal(err)
@@ -88,13 +88,13 @@ func TestSessionSnapshotResumeBitIdentical(t *testing.T) {
 	f := testEval(tp)
 	full := Tune(f, newTestBO(7), 16, 0, 0)
 
-	half := NewSession(newTestBO(7), f, SessionOptions{MaxSteps: 8})
+	half := NewSession(newTestBO(7), AsBackend(f), SessionOptions{MaxSteps: 8})
 	if _, err := half.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	st := half.Snapshot()
 
-	resumed, err := ResumeSession(st, newTestBO(7), f, SessionOptions{MaxSteps: 16})
+	resumed, err := ResumeSession(st, newTestBO(7), AsBackend(f), SessionOptions{MaxSteps: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestSessionSnapshotCarriesPendingTrials(t *testing.T) {
 	f := testEval(tp)
 	full := Tune(f, newTestBO(3), 10, 0, 0)
 
-	sess := NewSession(newTestBO(3), f, SessionOptions{MaxSteps: 10})
+	sess := NewSession(newTestBO(3), AsBackend(f), SessionOptions{MaxSteps: 10})
 	ctx := context.Background()
 	for i := 0; i < 5; i++ {
 		trials, err := sess.Propose(ctx, 1)
@@ -138,7 +138,7 @@ func TestSessionSnapshotCarriesPendingTrials(t *testing.T) {
 		t.Fatalf("snapshot pending = %+v", st.Pending)
 	}
 
-	resumed, err := ResumeSession(st, newTestBO(3), f, SessionOptions{})
+	resumed, err := ResumeSession(st, newTestBO(3), AsBackend(f), SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,11 +157,11 @@ func TestSessionSnapshotCarriesPendingTrials(t *testing.T) {
 // loudly instead of silently corrupting the run.
 func TestResumeSessionRejectsDivergingStrategy(t *testing.T) {
 	f := testEval(testTopo())
-	sess := NewSession(newTestBO(7), f, SessionOptions{MaxSteps: 6})
+	sess := NewSession(newTestBO(7), AsBackend(f), SessionOptions{MaxSteps: 6})
 	if _, err := sess.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ResumeSession(sess.Snapshot(), newTestBO(8), f, SessionOptions{}); err == nil {
+	if _, err := ResumeSession(sess.Snapshot(), newTestBO(8), AsBackend(f), SessionOptions{}); err == nil {
 		t.Fatal("resume with a different seed should fail the replay cross-check")
 	}
 }
@@ -170,7 +170,7 @@ func TestResumeSessionRejectsDivergingStrategy(t *testing.T) {
 // never proposed (or already consumed).
 func TestSessionReportUnknownTrial(t *testing.T) {
 	f := testEval(testTopo())
-	sess := NewSession(newTestBO(1), f, SessionOptions{MaxSteps: 4})
+	sess := NewSession(newTestBO(1), AsBackend(f), SessionOptions{MaxSteps: 4})
 	if err := sess.Report(Trial{ID: 99}, storm.Result{}); err == nil {
 		t.Fatal("expected error for unknown trial")
 	}
@@ -219,7 +219,7 @@ func TestSessionEmitsEvents(t *testing.T) {
 			}
 		}
 	})
-	sess := NewSession(newTestBO(2), f, SessionOptions{MaxSteps: 8, Observer: obs})
+	sess := NewSession(newTestBO(2), AsBackend(f), SessionOptions{MaxSteps: 8, Observer: obs})
 	if _, err := sess.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestSessionRunHonorsCancellation(t *testing.T) {
 			}
 		}
 	})
-	sess := NewSession(newTestBO(2), f, SessionOptions{MaxSteps: 50, Observer: obs})
+	sess := NewSession(newTestBO(2), AsBackend(f), SessionOptions{MaxSteps: 50, Observer: obs})
 	res, err := sess.Run(ctx)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -296,7 +296,7 @@ func TestResumedRunHonorsCancelledContext(t *testing.T) {
 	st := sess.Snapshot()
 
 	tracked := &trackingEval{inner: f}
-	resumed, err := ResumeSession(st, newTestBO(5), tracked, SessionOptions{})
+	resumed, err := ResumeSession(st, newTestBO(5), AsBackend(tracked), SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +328,7 @@ func TestResumedRunBatchChunksCarryToQ(t *testing.T) {
 		t.Fatal(err)
 	}
 	tracked := &trackingEval{inner: f}
-	resumed, err := ResumeSession(sess.Snapshot(), newTestBO(6), tracked, SessionOptions{})
+	resumed, err := ResumeSession(sess.Snapshot(), newTestBO(6), AsBackend(tracked), SessionOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +382,7 @@ func TestSessionRunBatchMatchesTuneBatch(t *testing.T) {
 	tp := testTopo()
 	f := testEval(tp)
 	want := TuneBatch(f, newTestBO(5), 12, 3, 0, 0)
-	sess := NewSession(newTestBO(5), f, SessionOptions{MaxSteps: 12})
+	sess := NewSession(newTestBO(5), AsBackend(f), SessionOptions{MaxSteps: 12})
 	got, err := sess.RunBatch(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)
@@ -394,7 +394,7 @@ func TestSessionRunBatchMatchesTuneBatch(t *testing.T) {
 // between drivers (amortized over the batch).
 func TestSessionDecisionTimes(t *testing.T) {
 	f := testEval(testTopo())
-	sess := NewSession(newTestBO(6), f, SessionOptions{MaxSteps: 6})
+	sess := NewSession(newTestBO(6), AsBackend(f), SessionOptions{MaxSteps: 6})
 	res, err := sess.RunBatch(context.Background(), 3)
 	if err != nil {
 		t.Fatal(err)

@@ -28,9 +28,14 @@ type RecordState struct {
 }
 
 // TrialState is one proposed-but-unreported trial in serialized form.
+// Attempt carries the evaluation attempts that have failed, so a trial
+// snapshotted mid-retry resumes with its remaining retry budget rather
+// than a fresh one (an attempt interrupted by the shutdown itself is
+// not a failure and consumes nothing).
 type TrialState struct {
 	ID         int          `json:"id"`
 	Config     storm.Config `json:"config"`
+	Attempt    int          `json:"attempt,omitempty"`
 	DecisionNS int64        `json:"decisionNs,omitempty"`
 }
 
@@ -46,6 +51,8 @@ type SessionState struct {
 	MaxSteps       int           `json:"maxSteps"`
 	StopAfterZeros int           `json:"stopAfterZeros,omitempty"`
 	RunOffset      int           `json:"runOffset,omitempty"`
+	Retry          RetryPolicy   `json:"retry"`
+	TrialTimeoutNS int64         `json:"trialTimeoutNs,omitempty"`
 	Issued         int           `json:"issued"`
 	Zeros          int           `json:"zeros,omitempty"`
 	Stopped        bool          `json:"stopped,omitempty"`
@@ -71,6 +78,8 @@ func (s *Session) Snapshot() *SessionState {
 		MaxSteps:       s.opts.MaxSteps,
 		StopAfterZeros: s.opts.StopAfterZeros,
 		RunOffset:      s.opts.RunOffset,
+		Retry:          s.opts.Retry,
+		TrialTimeoutNS: int64(s.opts.TrialTimeout),
 		Issued:         s.issued,
 		Zeros:          s.zeros,
 		Stopped:        s.stopped,
@@ -82,7 +91,9 @@ func (s *Session) Snapshot() *SessionState {
 		st.Records[i] = RecordState{Step: r.Step, Config: r.Config, Result: r.Result, DecisionNS: int64(r.Decision)}
 	}
 	for _, p := range s.pending {
-		st.Pending = append(st.Pending, TrialState{ID: p.ID, Config: p.Config, DecisionNS: int64(p.Decision)})
+		st.Pending = append(st.Pending, TrialState{
+			ID: p.ID, Config: p.Config, Attempt: p.Attempt, DecisionNS: int64(p.Decision),
+		})
 	}
 	return st
 }
@@ -130,9 +141,12 @@ func (st *SessionState) Validate() error {
 // and fails if the strategy diverges (wrong options, seed or topology).
 //
 // opts.MaxSteps may raise (or lower) the remaining budget; zero keeps
-// the snapshot's. opts.RunOffset is ignored — the snapshot's offset is
-// kept so evaluator noise draws line up.
-func ResumeSession(st *SessionState, strat Strategy, ev storm.Evaluator, opts SessionOptions) (*Session, error) {
+// the snapshot's, as do a zero opts.Retry and opts.TrialTimeout.
+// opts.RunOffset is ignored — the snapshot's offset is kept so
+// evaluator noise draws line up. In-flight trials — including ones
+// snapshotted mid-retry — come back as pending with their attempt
+// budget where it left off, and the drivers re-dispatch them first.
+func ResumeSession(st *SessionState, strat Strategy, bk Backend, opts SessionOptions) (*Session, error) {
 	if err := st.Validate(); err != nil {
 		return nil, err
 	}
@@ -180,8 +194,14 @@ func ResumeSession(st *SessionState, strat Strategy, ev storm.Evaluator, opts Se
 	if opts.StopAfterZeros == 0 {
 		opts.StopAfterZeros = st.StopAfterZeros
 	}
+	if opts.Retry == (RetryPolicy{}) {
+		opts.Retry = st.Retry
+	}
+	if opts.TrialTimeout == 0 {
+		opts.TrialTimeout = time.Duration(st.TrialTimeoutNS)
+	}
 	opts.RunOffset = st.RunOffset
-	s := NewSession(strat, ev, opts)
+	s := NewSession(strat, bk, opts)
 	s.issued = st.Issued
 	s.zeros = st.Zeros
 	s.stopped = st.Stopped
@@ -202,6 +222,8 @@ func ResumeSession(st *SessionState, strat Strategy, ev storm.Evaluator, opts Se
 		s.pending = append(s.pending, Trial{
 			ID: p.ID, Config: p.Config,
 			RunIndex: st.RunOffset + p.ID,
+			Attempt:  p.Attempt,
+			Timeout:  opts.TrialTimeout,
 			Decision: time.Duration(p.DecisionNS),
 		})
 	}

@@ -115,7 +115,7 @@ func (t TuneResult) MeanDecisionSeconds() float64 {
 // It is a convenience wrapper over Session.RunBatch; build a Session
 // directly for cancellation, events, async dispatch or snapshots.
 func TuneBatch(ev storm.Evaluator, strat Strategy, maxSteps, q, stopAfterZeros, runOffset int) TuneResult {
-	s := NewSession(strat, ev, SessionOptions{
+	s := NewSession(strat, AsBackend(ev), SessionOptions{
 		MaxSteps: maxSteps, StopAfterZeros: stopAfterZeros, RunOffset: runOffset,
 	})
 	res, _ := s.RunBatch(context.Background(), q)
@@ -151,7 +151,7 @@ func nextBatch(strat Strategy, q int) ([]storm.Config, time.Duration, bool) {
 // It is a convenience wrapper over Session.Run; build a Session
 // directly for cancellation, events, async dispatch or snapshots.
 func Tune(ev storm.Evaluator, strat Strategy, maxSteps, stopAfterZeros int, runOffset int) TuneResult {
-	s := NewSession(strat, ev, SessionOptions{
+	s := NewSession(strat, AsBackend(ev), SessionOptions{
 		MaxSteps: maxSteps, StopAfterZeros: stopAfterZeros, RunOffset: runOffset,
 	})
 	res, _ := s.Run(context.Background())

@@ -35,7 +35,7 @@ func Ablation(sc Scale) *Report {
 			o := core.BOOptions{Set: core.Hints, Seed: sc.Seed + 500 + int64(pass)*7919, Opt: opt}
 			return core.NewBO(t, spec, template, o)
 		}
-		out := core.RunProtocol(ev, factory, sc.protocol(sc.Steps, 0))
+		out := core.RunProtocol(core.AsBackend(ev), factory, sc.protocol(sc.Steps, 0))
 		sec := 0.0
 		for _, s := range out.MeanDecisionSec {
 			sec += s
@@ -64,7 +64,7 @@ func Ablation(sc Scale) *Report {
 		return core.NewBO(t, spec, template, core.BOOptions{
 			Set: core.Hints, Seed: sc.Seed + 900 + int64(pass)*7919, Opt: noSeeds})
 	}
-	out := core.RunProtocol(ev, factory, sc.protocol(sc.Steps, 0))
+	out := core.RunProtocol(core.AsBackend(ev), factory, sc.protocol(sc.Steps, 0))
 	r.AddRow("ei, no baseline seeds",
 		fmt.Sprintf("%.0f [%.0f..%.0f]", out.Summary.Mean, out.Summary.Min, out.Summary.Max),
 		fmt.Sprintf("%v", out.StepsToBest), "-")

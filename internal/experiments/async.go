@@ -58,7 +58,7 @@ func AsyncScaling(sc Scale) *Report {
 			Seed: sc.Seed + 17,
 			Opt:  sc.boOptions().Opt,
 		})
-		sess := core.NewSession(strat, ev, core.SessionOptions{MaxSteps: sc.Steps})
+		sess := core.NewSession(strat, core.AsBackend(ev), core.SessionOptions{MaxSteps: sc.Steps})
 		start := time.Now()
 		var tr core.TuneResult
 		if m.async {

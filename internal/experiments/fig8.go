@@ -40,9 +40,11 @@ func RunSundog(sc Scale) *SundogData {
 		data.Order = append(data.Order, label)
 	}
 
+	bk := core.AsBackend(ev)
+
 	// pla over hints.
 	plaFactory := func(int) core.Strategy { return core.NewPLA(sd, template) }
-	plaOut := core.RunProtocol(ev, plaFactory, sc.protocol(sc.Steps, 3))
+	plaOut := core.RunProtocol(bk, plaFactory, sc.protocol(sc.Steps, 3))
 	add("pla.h", plaOut)
 	data.PLABestHint = 11
 	if len(plaOut.BestConfig.Hints) > 0 {
@@ -58,15 +60,15 @@ func RunSundog(sc Scale) *SundogData {
 		}
 	}
 
-	add("bo.h", core.RunProtocol(ev, boFactory(core.Hints, template, 100), sc.protocol(sc.Steps, 0)))
-	add("bo.h-bs-bp", core.RunProtocol(ev, boFactory(core.HintsBatch, template, 200), sc.protocol(sc.Steps, 0)))
+	add("bo.h", core.RunProtocol(bk, boFactory(core.Hints, template, 100), sc.protocol(sc.Steps, 0)))
+	add("bo.h-bs-bp", core.RunProtocol(bk, boFactory(core.HintsBatch, template, 200), sc.protocol(sc.Steps, 0)))
 
 	fixed := storm.DefaultConfig(sd, data.PLABestHint)
-	add("bo.bs-bp-cc", core.RunProtocol(ev, boFactory(core.BatchCC, fixed, 300), sc.protocol(sc.Steps, 0)))
+	add("bo.bs-bp-cc", core.RunProtocol(bk, boFactory(core.BatchCC, fixed, 300), sc.protocol(sc.Steps, 0)))
 
 	if sc.IncludeBO180 {
-		add("bo180.h", core.RunProtocol(ev, boFactory(core.Hints, template, 400), sc.protocol(sc.Steps180, 0)))
-		add("bo180.h-bs-bp", core.RunProtocol(ev, boFactory(core.HintsBatch, template, 500), sc.protocol(sc.Steps180, 0)))
+		add("bo180.h", core.RunProtocol(bk, boFactory(core.Hints, template, 400), sc.protocol(sc.Steps180, 0)))
+		add("bo180.h-bs-bp", core.RunProtocol(bk, boFactory(core.HintsBatch, template, 500), sc.protocol(sc.Steps180, 0)))
 	}
 	return data
 }

@@ -71,7 +71,7 @@ func RunSyntheticGrid(sc Scale) *GridData {
 				if err != nil {
 					panic(err) // strategies are statically known
 				}
-				out := core.RunProtocol(ev, factory, sc.protocol(steps, stopZeros))
+				out := core.RunProtocol(core.AsBackend(ev), factory, sc.protocol(steps, stopZeros))
 				out.Strategy = strat
 				cell := Cell{cond, size, strat}
 				grid.Cells[cell.Key()] = out

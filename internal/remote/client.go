@@ -1,0 +1,167 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+)
+
+// BackendOptions configure a remote backend client.
+type BackendOptions struct {
+	// HTTPClient overrides the default client (connection pooling makes
+	// the default fine for concurrent trials; override for custom
+	// transports or TLS).
+	HTTPClient *http.Client
+	// RequestTimeout bounds one HTTP round trip when the trial carries
+	// no deadline of its own. Zero leaves the request bounded only by
+	// ctx.
+	RequestTimeout time.Duration
+	// TransportRetries re-POSTs a request whose transport failed —
+	// connection refused, reset, broken pipe — up to this many extra
+	// times. Evaluations are pure functions of (config, run index), so
+	// re-POSTing is safe. Server-reported evaluation errors are NOT
+	// retried here; surfacing those to the session's RetryPolicy keeps
+	// one retry budget, observable via TrialFailed/TrialRetried events.
+	TransportRetries int
+	// TransportBackoff is the wait between transport retries (default
+	// 100ms, doubling per retry).
+	TransportBackoff time.Duration
+}
+
+// Backend is the client side of a remote evaluation service: a
+// core.Backend that runs each trial by POSTing it to a Server (e.g. a
+// `stormtune serve` worker process). It is safe for concurrent trials
+// — RunAsync can keep several requests in flight against one worker,
+// or combine several Backends with core.NewPoolBackend to spread trials
+// over a worker pool.
+type Backend struct {
+	base string
+	c    *http.Client
+	opts BackendOptions
+}
+
+// NewBackend builds a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8077").
+func NewBackend(baseURL string, opts BackendOptions) *Backend {
+	c := opts.HTTPClient
+	if c == nil {
+		c = &http.Client{}
+	}
+	if opts.TransportBackoff <= 0 {
+		opts.TransportBackoff = 100 * time.Millisecond
+	}
+	return &Backend{base: strings.TrimRight(baseURL, "/"), c: c, opts: opts}
+}
+
+// URL returns the server base URL this client talks to.
+func (b *Backend) URL() string { return b.base }
+
+// Info fetches the served evaluator's description, letting callers
+// verify the worker measures the topology they are tuning.
+func (b *Backend) Info(ctx context.Context) (Info, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.base+"/info", nil)
+	if err != nil {
+		return Info{}, err
+	}
+	resp, err := b.c.Do(req)
+	if err != nil {
+		return Info{}, fmt.Errorf("remote: info %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Info{}, fmt.Errorf("remote: info %s: HTTP %d", b.base, resp.StatusCode)
+	}
+	var info Info
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return Info{}, fmt.Errorf("remote: info %s: %w", b.base, err)
+	}
+	return info, nil
+}
+
+// Run implements core.Backend: serialize the trial, POST it, decode the
+// measurement. Transport failures are retried per the options; any
+// error that survives is a lost evaluation for the session's
+// RetryPolicy to handle.
+func (b *Backend) Run(ctx context.Context, tr core.Trial) (storm.Result, error) {
+	body, err := json.Marshal(RunRequest{
+		Trial: TrialMeta{
+			ID:        tr.ID,
+			RunIndex:  tr.RunIndex,
+			Attempt:   tr.Attempt,
+			TimeoutMS: int64(tr.Timeout / time.Millisecond),
+		},
+		Config: tr.Config,
+	})
+	if err != nil {
+		return storm.Result{}, fmt.Errorf("remote: encoding trial %d: %w", tr.ID, err)
+	}
+
+	var lastErr error
+	for try := 0; try <= b.opts.TransportRetries; try++ {
+		if try > 0 {
+			backoff := b.opts.TransportBackoff << (try - 1)
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return storm.Result{}, ctx.Err()
+			case <-t.C:
+			}
+		}
+		res, retryable, err := b.post(ctx, body, tr.Timeout <= 0)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	return storm.Result{}, lastErr
+}
+
+// post performs one round trip. retryable marks transport-level
+// failures (no HTTP response reached us); a server-reported error is
+// authoritative and returned as-is. applyRequestTimeout is false when
+// the trial carries its own deadline (already on ctx) — per the
+// BackendOptions contract, RequestTimeout only fills that gap.
+func (b *Backend) post(ctx context.Context, body []byte, applyRequestTimeout bool) (storm.Result, bool, error) {
+	if applyRequestTimeout && b.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.opts.RequestTimeout)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.base+"/run", bytes.NewReader(body))
+	if err != nil {
+		return storm.Result{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := b.c.Do(req)
+	if err != nil {
+		return storm.Result{}, true, fmt.Errorf("remote: %s: %w", b.base, err)
+	}
+	defer resp.Body.Close()
+	var rr RunResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&rr); err != nil {
+		return storm.Result{}, true, fmt.Errorf("remote: %s: decoding response (HTTP %d): %w", b.base, resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := rr.Error
+		if msg == "" {
+			msg = "no error message"
+		}
+		return storm.Result{}, false, fmt.Errorf("remote: %s: HTTP %d: %s", b.base, resp.StatusCode, msg)
+	}
+	if rr.Result == nil {
+		return storm.Result{}, false, fmt.Errorf("remote: %s: HTTP 200 with no result", b.base)
+	}
+	return *rr.Result, false, nil
+}

@@ -1,0 +1,289 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+func testTopo() *topo.Topology {
+	return topo.MustNew("t",
+		[]topo.Node{
+			{Name: "s", Kind: topo.Spout, TimeUnits: 20, Selectivity: 1, TupleBytes: 100},
+			{Name: "a", Kind: topo.Bolt, TimeUnits: 20, Selectivity: 1, TupleBytes: 100},
+			{Name: "b", Kind: topo.Bolt, TimeUnits: 20, Selectivity: 1, TupleBytes: 100},
+		},
+		[]topo.Edge{{From: 0, To: 1}, {From: 1, To: 2}},
+	)
+}
+
+func testEval(t *topo.Topology) *storm.FluidSim {
+	spec := cluster.Spec{Machines: 8, CoresPerMachine: 4, CoreMillisPerSec: 1000,
+		NICBytesPerSec: 128e6, TaskSlotsPerMachine: 16, ThrashTasksPerCore: 4}
+	f := storm.NewFluidSim(t, spec, storm.SinkTuples, 1)
+	f.Noise = storm.NoNoise()
+	return f
+}
+
+func testBO(t *topo.Topology, seed int64) core.Strategy {
+	return core.NewBO(t, cluster.Small(), storm.DefaultSyntheticConfig(t, 1), core.BOOptions{Seed: seed})
+}
+
+// startServer brings up a live local evaluation server (real TCP
+// listener) the way `stormtune serve` does, and returns a client.
+func startServer(t *testing.T, opts ServerOptions) (*Backend, *httptest.Server) {
+	t.Helper()
+	tp := testTopo()
+	if opts.Info == (Info{}) {
+		opts.Info = Info{Topology: tp.Name, Nodes: tp.N(), Metric: storm.SinkTuples.String()}
+	}
+	srv := httptest.NewServer(NewServer(core.AsBackend(testEval(tp)), opts).Handler())
+	t.Cleanup(srv.Close)
+	return NewBackend(srv.URL, BackendOptions{}), srv
+}
+
+// TestRunRoundTrip: a trial evaluated over the wire returns exactly the
+// measurement the simulator produces locally — the remote backend is
+// transparent, noise draw included.
+func TestRunRoundTrip(t *testing.T) {
+	tp := testTopo()
+	bk, _ := startServer(t, ServerOptions{})
+	local := testEval(tp)
+
+	cfg := storm.DefaultSyntheticConfig(tp, 3)
+	for runIndex := 1; runIndex <= 3; runIndex++ {
+		want := local.Run(cfg, runIndex)
+		got, err := bk.Run(context.Background(), core.Trial{ID: runIndex, Config: cfg, RunIndex: runIndex, Attempt: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Throughput != want.Throughput || got.Failed != want.Failed || got.Bottleneck != want.Bottleneck {
+			t.Fatalf("run %d over the wire = %+v, local = %+v", runIndex, got, want)
+		}
+	}
+}
+
+// TestInfo: the client can verify what the worker serves.
+func TestInfo(t *testing.T) {
+	bk, _ := startServer(t, ServerOptions{})
+	info, err := bk.Info(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Topology != "t" || info.Nodes != 3 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestServerRejectsWrongTopology: a config sized for a different
+// topology is rejected before evaluation with a clear error.
+func TestServerRejectsWrongTopology(t *testing.T) {
+	bk, _ := startServer(t, ServerOptions{})
+	cfg := storm.DefaultSyntheticConfig(testTopo(), 1)
+	cfg.Hints = cfg.Hints[:2] // wrong operator count
+	_, err := bk.Run(context.Background(), core.Trial{ID: 1, Config: cfg, RunIndex: 1, Attempt: 1})
+	if err == nil {
+		t.Fatal("mismatched config accepted")
+	}
+}
+
+// TestInjectedFaultSurfacesAsLostEvaluation: a 500 from the server is
+// an error (lost measurement), not a zero observation.
+func TestInjectedFaultSurfacesAsLostEvaluation(t *testing.T) {
+	tp := testTopo()
+	bk, _ := startServer(t, ServerOptions{FailEveryN: 1}) // every request fails
+	cfg := storm.DefaultSyntheticConfig(tp, 1)
+	_, err := bk.Run(context.Background(), core.Trial{ID: 1, Config: cfg, RunIndex: 1, Attempt: 1})
+	if err == nil {
+		t.Fatal("injected fault did not surface as an error")
+	}
+}
+
+// TestTransportRetryAfterServerRestart: connection-level failures are
+// re-POSTed by the client itself (the evaluation is pure), so a worker
+// hiccup shorter than the transport retry budget is invisible.
+func TestTransportRetryAfterConnectionRefused(t *testing.T) {
+	tp := testTopo()
+	srv := httptest.NewServer(NewServer(core.AsBackend(testEval(tp)), ServerOptions{}).Handler())
+	url := srv.URL
+	srv.Close() // connection refused now
+	bk := NewBackend(url, BackendOptions{TransportRetries: 2, TransportBackoff: 10 * time.Millisecond})
+	cfg := storm.DefaultSyntheticConfig(tp, 1)
+	start := time.Now()
+	_, err := bk.Run(context.Background(), core.Trial{ID: 1, Config: cfg, RunIndex: 1, Attempt: 1})
+	if err == nil {
+		t.Fatal("dead server produced a result")
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("transport retries not attempted (returned in %v)", d)
+	}
+}
+
+// blockingBackend ignores ctx mid-run the way the simulators do,
+// holding the evaluation until released.
+type blockingBackend struct{ release chan struct{} }
+
+func (b *blockingBackend) Run(ctx context.Context, tr core.Trial) (storm.Result, error) {
+	<-b.release
+	return storm.Result{Throughput: 1}, nil
+}
+
+// TestServerAbandonsRunAtDeadline: a trial deadline is enforced by the
+// server even when the backend cannot observe ctx mid-run — the reply
+// is a 504-style lost evaluation instead of a worker held hostage.
+func TestServerAbandonsRunAtDeadline(t *testing.T) {
+	blocked := &blockingBackend{release: make(chan struct{})}
+	defer close(blocked.release)
+	srv := httptest.NewServer(NewServer(blocked, ServerOptions{MaxRunSeconds: 1}).Handler())
+	t.Cleanup(srv.Close)
+	bk := NewBackend(srv.URL, BackendOptions{})
+	tp := testTopo()
+	cfg := storm.DefaultSyntheticConfig(tp, 1)
+	start := time.Now()
+	_, err := bk.Run(context.Background(), core.Trial{
+		ID: 1, Config: cfg, RunIndex: 1, Attempt: 1, Timeout: 50 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("deadline-exceeding run returned a result")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("server held the response %v past the 50ms trial deadline", d)
+	}
+}
+
+// TestEndToEndConcurrentRetries: a session drives two concurrent
+// trials through one RemoteBackend against a live local server whose
+// fault injection kills requests mid-flight; the RetryPolicy absorbs
+// every fault (TrialFailed → TrialRetried, observed) and the session
+// completes its full budget with no evaluation-failure records.
+func TestEndToEndConcurrentRetries(t *testing.T) {
+	tp := testTopo()
+	const steps = 10
+	bk, _ := startServer(t, ServerOptions{FailEveryN: 4})
+
+	var mu sync.Mutex
+	var failed, retried, permanent int
+	obs := core.ObserverFunc(func(e core.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch ev := e.(type) {
+		case core.TrialFailed:
+			failed++
+			if ev.Permanent {
+				permanent++
+			}
+		case core.TrialRetried:
+			retried++
+		}
+	})
+	sess := core.NewSession(testBO(tp, 3), bk, core.SessionOptions{
+		MaxSteps: steps,
+		Retry:    core.RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond},
+		Observer: obs,
+	})
+	res, err := sess.RunAsync(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != steps {
+		t.Fatalf("completed %d records, want %d", len(res.Records), steps)
+	}
+	if failed == 0 || retried == 0 {
+		t.Fatalf("fault injection unobserved: failed=%d retried=%d", failed, retried)
+	}
+	if permanent != 0 {
+		t.Fatalf("%d trials failed permanently; MaxAttempts 4 must absorb every-4th faults", permanent)
+	}
+	for _, rec := range res.Records {
+		if rec.Result.Failure == storm.FailureEvaluation {
+			t.Fatalf("retry budget should have absorbed every injected fault: %+v", rec.Result)
+		}
+	}
+	if _, ok := res.Best(); !ok {
+		t.Fatal("no successful trial over the wire")
+	}
+}
+
+// TestEndToEndSnapshotResumeBitIdentical is the acceptance scenario's
+// second half: a remote tuning session over a flaky live server is
+// snapshotted mid-run and cancelled; a "new process" resumes it with a
+// fresh client against the same server, and the stitched records are
+// bit-identical to an uninterrupted run against the local simulator —
+// retries re-use the trial's RunIndex, so lost-then-recovered
+// measurements change nothing.
+func TestEndToEndSnapshotResumeBitIdentical(t *testing.T) {
+	tp := testTopo()
+	const steps = 12
+
+	// Reference: uninterrupted local sequential run.
+	want := core.Tune(testEval(tp), testBO(tp, 3), steps, 0, 0)
+
+	bk, _ := startServer(t, ServerOptions{FailEveryN: 5})
+	var mu sync.Mutex
+	var completed, failed int
+	var snap *core.SessionState
+	ctx, cancel := context.WithCancel(context.Background())
+	var sess *core.Session
+	obs := core.ObserverFunc(func(e core.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch e.(type) {
+		case core.TrialFailed:
+			failed++
+		case core.TrialCompleted:
+			completed++
+			if completed == steps/2 {
+				snap = sess.Snapshot()
+				cancel()
+			}
+		}
+	})
+	sess = core.NewSession(testBO(tp, 3), bk, core.SessionOptions{
+		MaxSteps: steps,
+		Retry:    core.RetryPolicy{MaxAttempts: 4, Backoff: time.Millisecond},
+		Observer: obs,
+	})
+	if _, err := sess.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("first half: err = %v, want context.Canceled", err)
+	}
+	if snap == nil {
+		t.Fatal("snapshot never taken")
+	}
+	if failed == 0 {
+		t.Fatal("fault injection unobserved in first half")
+	}
+
+	// "New process": fresh client against the same live server.
+	bk2 := NewBackend(bk.URL(), BackendOptions{})
+	resumed, err := core.ResumeSession(snap, testBO(tp, 3), bk2, core.SessionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := resumed.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(want.Records) {
+		t.Fatalf("resumed run completed %d records, want %d", len(got.Records), len(want.Records))
+	}
+	for i, w := range want.Records {
+		g := got.Records[i]
+		if g.Step != w.Step || g.Config.Fingerprint() != w.Config.Fingerprint() {
+			t.Fatalf("step %d config diverged", w.Step)
+		}
+		if g.Result.Throughput != w.Result.Throughput {
+			t.Fatalf("step %d throughput %v, want %v (bit-identical resume)", w.Step, g.Result.Throughput, w.Result.Throughput)
+		}
+	}
+	if got.BestStep != want.BestStep {
+		t.Fatalf("best step %d, want %d", got.BestStep, want.BestStep)
+	}
+}

@@ -1,0 +1,141 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+)
+
+// ServerOptions configure an evaluation server.
+type ServerOptions struct {
+	// Info is returned by GET /info so clients can cross-check the
+	// served topology.
+	Info Info
+	// FailEveryN, when positive, injects a deterministic fault: every
+	// Nth /run request is rejected with HTTP 500 *before* evaluation.
+	// Combined with a session RetryPolicy it exercises the retry path
+	// end to end — the `stormtune serve -flaky N` flag maps here.
+	FailEveryN int
+	// MaxRunSeconds caps a single evaluation even when the trial carries
+	// no deadline of its own (default 0 = uncapped).
+	MaxRunSeconds int
+	// Logf, when set, receives one line per handled request.
+	Logf func(format string, args ...any)
+}
+
+// Server serves a Backend over HTTP. It is safe for concurrent
+// requests as long as the backend is (the contract requires it).
+type Server struct {
+	bk   core.Backend
+	opts ServerOptions
+	reqs atomic.Int64
+}
+
+// NewServer wraps a backend for serving.
+func NewServer(bk core.Backend, opts ServerOptions) *Server {
+	return &Server{bk: bk, opts: opts}
+}
+
+// Handler returns the HTTP surface: POST /run, GET /info, GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /info", s.handleInfo)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.opts.Info)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	n := s.reqs.Add(1)
+	if f := int64(s.opts.FailEveryN); f > 0 && n%f == 0 {
+		s.logf("run #%d: injected fault", n)
+		writeJSON(w, http.StatusInternalServerError, RunResponse{Error: "injected fault"})
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, RunResponse{Error: "decoding run request: " + err.Error()})
+		return
+	}
+	if want := s.opts.Info.Nodes; want > 0 && len(req.Config.Hints) != want {
+		writeJSON(w, http.StatusBadRequest, RunResponse{
+			Error: fmt.Sprintf("config has %d hints, served topology %q has %d operators",
+				len(req.Config.Hints), s.opts.Info.Topology, want),
+		})
+		return
+	}
+
+	ctx := r.Context()
+	timeout := time.Duration(req.Trial.TimeoutMS) * time.Millisecond
+	if cap := time.Duration(s.opts.MaxRunSeconds) * time.Second; cap > 0 && (timeout <= 0 || timeout > cap) {
+		timeout = cap
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	tr := core.Trial{
+		ID:       req.Trial.ID,
+		Config:   req.Config,
+		RunIndex: req.Trial.RunIndex,
+		Attempt:  req.Trial.Attempt,
+		Timeout:  timeout,
+	}
+	// Evaluate on a separate goroutine so a backend that cannot observe
+	// ctx mid-run (the simulators run to completion) still cannot hold
+	// the response past the deadline: the reply is abandoned at the
+	// deadline and the stray evaluation finishes in the background, its
+	// result discarded (the buffered channel keeps it from leaking).
+	type outcome struct {
+		res storm.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := s.bk.Run(ctx, tr)
+		ch <- outcome{res: res, err: err}
+	}()
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-ctx.Done():
+		s.logf("run #%d: trial %d attempt %d abandoned: %v", n, tr.ID, tr.Attempt, ctx.Err())
+		writeJSON(w, http.StatusGatewayTimeout, RunResponse{Error: "evaluation abandoned: " + ctx.Err().Error()})
+		return
+	}
+	if o.err != nil {
+		s.logf("run #%d: trial %d attempt %d failed: %v", n, tr.ID, tr.Attempt, o.err)
+		writeJSON(w, http.StatusBadGateway, RunResponse{Error: o.err.Error()})
+		return
+	}
+	res := o.res
+	s.logf("run #%d: trial %d attempt %d → %.0f tuples/s", n, tr.ID, tr.Attempt, res.Throughput)
+	writeJSON(w, http.StatusOK, RunResponse{Result: &res})
+}

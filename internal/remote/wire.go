@@ -1,0 +1,62 @@
+// Package remote turns any Backend into a JSON-over-HTTP evaluation
+// service and back: Server exposes a backend (typically a wrapped
+// simulator, in a `stormtune serve` worker process) and Backend is the
+// client side — a core.Backend that evaluates trials by POSTing them to
+// such a server. One tuning session can drive a pool of worker
+// processes by combining one client per worker with
+// core.NewPoolBackend.
+//
+// The wire protocol is deliberately small:
+//
+//	POST /run     {"trial": {...}, "config": {...}} → {"result": {...}}
+//	GET  /info    {"topology": ..., "nodes": ..., "metric": ...}
+//	GET  /healthz "ok"
+//
+// A /run response with a non-2xx status carries {"error": "..."} and is
+// surfaced to the session as a lost evaluation — exactly what the
+// session's RetryPolicy exists to absorb.
+package remote
+
+import (
+	"stormtune/internal/storm"
+)
+
+// TrialMeta is the trial envelope sent alongside the configuration:
+// enough for the server to reproduce the exact measurement (RunIndex
+// selects the noise draw) and enforce the trial's deadline.
+type TrialMeta struct {
+	ID        int   `json:"id"`
+	RunIndex  int   `json:"runIndex"`
+	Attempt   int   `json:"attempt,omitempty"`
+	TimeoutMS int64 `json:"timeoutMs,omitempty"`
+}
+
+// RunRequest is the body of POST /run.
+type RunRequest struct {
+	Trial  TrialMeta    `json:"trial"`
+	Config storm.Config `json:"config"`
+}
+
+// RunResponse is the body of a /run reply. Exactly one field is set:
+// Result on success (HTTP 200), Error otherwise.
+type RunResponse struct {
+	Result *storm.Result `json:"result,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// Info describes the evaluator a server exposes, so clients can verify
+// they are tuning the topology the worker actually measures.
+type Info struct {
+	// Topology is the served topology's name.
+	Topology string `json:"topology"`
+	// Nodes is the topology's operator count; configurations must carry
+	// exactly this many hints.
+	Nodes int `json:"nodes"`
+	// Metric is the throughput definition (storm.Metric.String());
+	// empty means the server did not declare it.
+	Metric string `json:"metric,omitempty"`
+	// Fingerprint is the hex form of topo.Topology.Fingerprint — the
+	// full structural hash. Name and node count cannot distinguish two
+	// synthetic topologies generated with different seeds; this can.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}

@@ -91,7 +91,7 @@ func (d *BatchDES) Run(cfg Config, runIndex int) Result {
 	counts := append(append([]int(nil), hints...), ackers)
 	place := cluster.PlaceRoundRobin(spec, counts)
 	if place.Overloaded() {
-		return Result{Failed: true, Bottleneck: "scheduler", Tasks: cfg.TotalTasks()}
+		return Result{Failed: true, Failure: FailurePlacement, Bottleneck: "scheduler", Tasks: cfg.TotalTasks()}
 	}
 
 	rates := t.Rates()
@@ -254,7 +254,7 @@ func (d *BatchDES) Run(cfg Config, runIndex int) Result {
 
 	elapsed := measEnd - measStart
 	if measBatches == 0 || elapsed <= 0 {
-		return Result{Failed: true, Bottleneck: "timeout", Tasks: cfg.TotalTasks()}
+		return Result{Failed: true, Failure: FailureTimeout, Bottleneck: "timeout", Tasks: cfg.TotalTasks()}
 	}
 	// Each batch carries bs source tuples per unit-rate spout, scaled by
 	// each spout's rate factor.

@@ -110,7 +110,7 @@ func (f *FluidSim) Solve(cfg Config) Result {
 		totalTasks += c
 	}
 	if place.Overloaded() {
-		return Result{Failed: true, Bottleneck: "scheduler", Tasks: totalTasks}
+		return Result{Failed: true, Failure: FailurePlacement, Bottleneck: "scheduler", Tasks: totalTasks}
 	}
 
 	rates := t.Rates()

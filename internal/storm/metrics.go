@@ -1,5 +1,37 @@
 package storm
 
+import "fmt"
+
+// Failure classifies why a run failed, so failed measurements surface
+// as a typed condition instead of a silent zero-throughput observation.
+type Failure string
+
+// Failure values.
+const (
+	// FailureNone marks a successful run (the zero value).
+	FailureNone Failure = ""
+	// FailurePlacement marks a configuration the scheduler could not
+	// place (worker memory exhaustion in the real system). The
+	// measurement itself is valid: the configuration performs at zero.
+	FailurePlacement Failure = "placement"
+	// FailureTimeout marks a simulated run that exceeded its step budget
+	// before reaching steady state.
+	FailureTimeout Failure = "timeout"
+	// FailureEvaluation marks a trial whose measurement was lost — the
+	// backend timed out, the connection dropped, or the run crashed — and
+	// whose retry budget is exhausted. The recorded zero throughput is a
+	// pessimistic stand-in, not a measurement.
+	FailureEvaluation Failure = "evaluation"
+)
+
+// FailedResult builds the pessimistic observation recorded when a
+// trial's evaluation permanently fails: zero throughput, Failed set,
+// and the failure classified so callers can tell a lost measurement
+// from a genuinely unplaceable configuration.
+func FailedResult(f Failure, msg string) Result {
+	return Result{Failed: true, Failure: f, Error: msg}
+}
+
 // Result reports one measurement run, mirroring what the paper's
 // harness collected from a two-minute topology execution.
 type Result struct {
@@ -17,8 +49,14 @@ type Result struct {
 	NetworkBytesPerWorker float64
 	// Failed marks a run that measured zero throughput because the
 	// scheduler could not place the requested tasks (worker
-	// memory exhaustion in the real system).
+	// memory exhaustion in the real system), or whose measurement was
+	// permanently lost; Failure tells the two apart.
 	Failed bool
+	// Failure classifies a failed run; empty on success.
+	Failure Failure `json:",omitempty"`
+	// Error carries the last evaluation error message for
+	// FailureEvaluation results; empty otherwise.
+	Error string `json:",omitempty"`
 	// Bottleneck names the binding constraint, for diagnostics and the
 	// ablation benches.
 	Bottleneck string
@@ -38,6 +76,19 @@ const (
 	// "million tuples/s" axis in Figure 8.
 	SourceTuples
 )
+
+// String names the metric; the remote evaluation protocol carries this
+// form so "unset" (empty) stays distinguishable from SinkTuples.
+func (m Metric) String() string {
+	switch m {
+	case SinkTuples:
+		return "sink-tuples"
+	case SourceTuples:
+		return "source-tuples"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
 
 // Evaluator is the black-box objective: run one measurement with a
 // configuration and return the observed result. runIndex distinguishes

@@ -8,7 +8,9 @@
 package topo
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 )
@@ -196,6 +198,42 @@ func (t *Topology) Validate() error {
 
 // N returns the node count.
 func (t *Topology) N() int { return len(t.Nodes) }
+
+// Fingerprint hashes the topology's full structure — name, every node
+// parameter, every edge. Two topologies with the same name and node
+// count but different generation parameters (seed, imbalance,
+// contention) hash differently, which is what lets a remote evaluation
+// client verify the worker serves the exact topology it is tuning.
+func (t *Topology) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wi := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { wi(math.Float64bits(v)) }
+	h.Write([]byte(t.Name))
+	for _, n := range t.Nodes {
+		h.Write([]byte{0})
+		h.Write([]byte(n.Name))
+		wi(uint64(n.Kind))
+		wf(n.TimeUnits)
+		if n.Contentious {
+			wi(1)
+		} else {
+			wi(0)
+		}
+		wf(n.Selectivity)
+		wi(uint64(n.TupleBytes))
+		wf(n.RateFactor)
+	}
+	for _, e := range t.Edges {
+		wi(uint64(e.From))
+		wi(uint64(e.To))
+		wi(uint64(e.Grouping))
+	}
+	return h.Sum64()
+}
 
 // Children returns the downstream neighbours of v.
 func (t *Topology) Children(v int) []int { return t.adj[v] }

@@ -1,0 +1,107 @@
+package stormtune
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+
+	"stormtune/internal/remote"
+)
+
+// Remote evaluation: any Backend can be served as a JSON-over-HTTP
+// evaluation service (the `stormtune serve` subcommand does this for
+// the bundled simulators) and driven from another process through a
+// RemoteBackend client — the decoupled tuner-as-a-service deployment
+// where trials run on machines the library does not control. Lost
+// measurements (timeouts, dropped connections, crashed workers) surface
+// as Backend errors for the session's RetryPolicy to absorb.
+type (
+	// RemoteBackend is a Backend that evaluates trials by POSTing them
+	// to a remote evaluation server. Safe for concurrent trials; combine
+	// several with NewBackendPool to drive a pool of worker processes
+	// from one session.
+	RemoteBackend = remote.Backend
+	// RemoteBackendOptions configure the client: HTTP client, per-
+	// request timeout, and transparent transport-level retries.
+	RemoteBackendOptions = remote.BackendOptions
+	// RemoteInfo describes what a server evaluates (topology name,
+	// operator count, metric).
+	RemoteInfo = remote.Info
+	// BackendServerOptions configure a served backend: the /info
+	// description, an optional per-run wall-clock cap, and deterministic
+	// fault injection for retry-path testing.
+	BackendServerOptions = remote.ServerOptions
+)
+
+// NewRemoteBackend builds a client for the evaluation server at baseURL
+// (e.g. "http://127.0.0.1:8077").
+func NewRemoteBackend(baseURL string, opts RemoteBackendOptions) *RemoteBackend {
+	return remote.NewBackend(baseURL, opts)
+}
+
+// NewBackendHandler exposes a backend as an HTTP evaluation service
+// (POST /run, GET /info, GET /healthz) for embedding into a server of
+// the caller's own; `stormtune serve` is a thin wrapper around it.
+func NewBackendHandler(b Backend, opts BackendServerOptions) http.Handler {
+	return remote.NewServer(b, opts).Handler()
+}
+
+// CheckRemoteBackend fetches the server's /info and verifies it serves
+// the given topology under the given throughput metric: the operator
+// counts and metric must match, and when both sides carry a topology
+// name, the names must too — a same-shaped but different topology (or
+// the right topology measured on the wrong axis) silently optimizes
+// the wrong thing. Call it before tuning to fail fast on a
+// client/worker mismatch; an entirely unpopulated /info (a custom
+// handler with a zero BackendServerOptions.Info) skips the checks.
+func CheckRemoteBackend(ctx context.Context, b *RemoteBackend, t *Topology, metric Metric) (RemoteInfo, error) {
+	info, err := b.Info(ctx)
+	if err != nil {
+		return info, err
+	}
+	if info == (RemoteInfo{}) {
+		return info, nil // server did not describe itself at all
+	}
+	if info.Nodes != 0 && info.Nodes != t.N() {
+		return info, &RemoteMismatchError{URL: b.URL(), Served: info, Want: t.Name, WantNodes: t.N(),
+			Reason: "operator counts differ"}
+	}
+	if info.Topology != "" && t.Name != "" && info.Topology != t.Name {
+		return info, &RemoteMismatchError{URL: b.URL(), Served: info, Want: t.Name, WantNodes: t.N(),
+			Reason: "topology names differ"}
+	}
+	if info.Metric != "" && info.Metric != metric.String() {
+		return info, &RemoteMismatchError{URL: b.URL(), Served: info, Want: t.Name, WantNodes: t.N(),
+			Reason: "throughput metrics differ"}
+	}
+	// Name and node count cannot tell apart two synthetic topologies
+	// generated with different seeds; the structural fingerprint can.
+	if info.Fingerprint != "" && info.Fingerprint != TopologyFingerprint(t) {
+		return info, &RemoteMismatchError{URL: b.URL(), Served: info, Want: t.Name, WantNodes: t.N(),
+			Reason: "structural fingerprints differ (generation seed or parameters)"}
+	}
+	return info, nil
+}
+
+// TopologyFingerprint renders a topology's structural hash in the form
+// RemoteInfo.Fingerprint carries (serve fills it in automatically;
+// custom NewBackendHandler embedders should too).
+func TopologyFingerprint(t *Topology) string {
+	return fmt.Sprintf("%016x", t.Fingerprint())
+}
+
+// RemoteMismatchError reports a worker serving a different topology
+// than the session tunes.
+type RemoteMismatchError struct {
+	URL       string
+	Served    RemoteInfo
+	Want      string
+	WantNodes int
+	Reason    string
+}
+
+// Error implements error.
+func (e *RemoteMismatchError) Error() string {
+	return "stormtune: server " + e.URL + " serves " + e.Served.Topology +
+		" — refusing to tune " + e.Want + " against it (" + e.Reason + ")"
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"stormtune/internal/bo"
 	"stormtune/internal/cluster"
@@ -15,21 +16,37 @@ import (
 
 // Session types re-exported from the core package.
 type (
+	// Backend evaluates trials: Run(ctx, Trial) either returns the
+	// measurement (a Result with Failed set is still a valid, zero-
+	// performing observation) or an error meaning the measurement was
+	// lost — which the session's RetryPolicy handles. Wrap a simulator
+	// with AsBackend, reach a worker process with NewRemoteBackend, or
+	// implement the interface for your own cluster harness.
+	Backend = core.Backend
 	// Trial is one proposed configuration evaluation: evaluate
 	// Trial.Config (passing Trial.RunIndex to the evaluator, or running
 	// it on whatever system you control) and hand the measurement back
-	// via Tuner.Report.
+	// via Tuner.Report. It carries the trial ID, the retry attempt and
+	// the per-trial deadline.
 	Trial = core.Trial
+	// RetryPolicy governs lost evaluations: attempts per trial and the
+	// exponential backoff between them. The zero value never retries.
+	RetryPolicy = core.RetryPolicy
 	// RunRecord is one completed optimization step.
 	RunRecord = core.RunRecord
 	// Event is a typed session notification; the concrete types are
-	// TrialStarted, TrialCompleted, NewBest, PassCompleted and
-	// ParallelismClamped.
+	// TrialStarted, TrialCompleted, TrialFailed, TrialRetried, NewBest,
+	// PassCompleted and ParallelismClamped.
 	Event = core.Event
 	// TrialStarted reports a trial handed out for evaluation.
 	TrialStarted = core.TrialStarted
 	// TrialCompleted reports a trial's measurement fed back in.
 	TrialCompleted = core.TrialCompleted
+	// TrialFailed reports an evaluation attempt whose measurement was
+	// lost; Permanent marks the retry budget as spent.
+	TrialFailed = core.TrialFailed
+	// TrialRetried reports a failed trial being re-attempted.
+	TrialRetried = core.TrialRetried
 	// NewBest reports a trial that improved the session's best.
 	NewBest = core.NewBest
 	// PassCompleted reports that a driver finished.
@@ -42,6 +59,20 @@ type (
 	// ObserverFunc adapts a function to Observer.
 	ObserverFunc = core.ObserverFunc
 )
+
+// AsBackend adapts an Evaluator (the bundled simulators and their
+// wrappers) to the Backend contract; a nil evaluator yields a nil
+// Backend for ask/tell-only sessions. Existing Evaluator-based callers
+// migrate by wrapping: NewTuner(t, AsBackend(ev), opts).
+func AsBackend(ev Evaluator) Backend { return core.AsBackend(ev) }
+
+// NewBackendPool distributes concurrent trials over member backends —
+// e.g. one NewRemoteBackend per worker process — so a single session
+// driving RunAsync(ctx, q) saturates up to q workers. Each Run borrows
+// a free member for the duration of the evaluation.
+func NewBackendPool(members ...Backend) (Backend, error) {
+	return core.NewPoolBackend(members...)
+}
 
 // TunerOptions configure a tuning session.
 type TunerOptions struct {
@@ -67,6 +98,15 @@ type TunerOptions struct {
 	// (default 1 — the paper's sequential procedure). The Run* drivers
 	// take their own q and ignore it.
 	Parallel int
+	// Retry governs trials whose evaluation errors (Backend.Run
+	// returning a non-nil error): how many attempts each trial gets and
+	// with what backoff before the session records a pessimistic failed
+	// observation. The zero value never retries.
+	Retry RetryPolicy
+	// TrialTimeout bounds each evaluation attempt's wall-clock; trials
+	// carry it as their deadline and backends receive it via ctx. Zero
+	// means unbounded.
+	TrialTimeout time.Duration
 	// Observer receives the session's typed events; nil disables.
 	Observer Observer
 	// Strategy overrides the built-in Bayesian optimizer with a custom
@@ -97,14 +137,14 @@ func (o TunerOptions) boOptions() BOOptions {
 }
 
 // Tuner is a long-lived, interruptible tuning session over one topology
-// and evaluator — the workflow the paper ran with Spearmint on its
+// and backend — the workflow the paper ran with Spearmint on its
 // shared cluster (§III-C), exposed as an ask/tell API. Propose hands
 // out trials and Report feeds measurements back, so callers can drive
 // evaluations themselves, including against external clusters the
 // library does not control; the Run, RunBatch and RunAsync drivers
-// automate the loop against the configured evaluator with
-// context-based cancellation, typed events, and Snapshot/ResumeTuner
-// pause points.
+// automate the loop against the configured Backend with context-based
+// cancellation, per-trial deadlines, retry of lost evaluations, typed
+// events, and Snapshot/ResumeTuner pause points.
 type Tuner struct {
 	sess     *core.Session
 	opts     TunerOptions
@@ -116,10 +156,13 @@ type Tuner struct {
 	bound int
 }
 
-// NewTuner starts a tuning session for a topology against an evaluator.
-// ev may be nil when the caller evaluates trials itself through
-// Propose/Report (the Run* drivers then return an error).
-func NewTuner(t *Topology, ev Evaluator, opts TunerOptions) (*Tuner, error) {
+// NewTuner starts a tuning session for a topology against a backend —
+// a wrapped simulator (AsBackend), a remote evaluation service
+// (NewRemoteBackend), a pool of workers (NewBackendPool), or any
+// Backend of the caller's own. b may be nil when the caller evaluates
+// trials itself through Propose/Report (the Run* drivers then return
+// an error).
+func NewTuner(t *Topology, b Backend, opts TunerOptions) (*Tuner, error) {
 	if t == nil {
 		return nil, fmt.Errorf("stormtune: nil topology")
 	}
@@ -148,9 +191,11 @@ func NewTuner(t *Topology, ev Evaluator, opts TunerOptions) (*Tuner, error) {
 	if strat == nil {
 		strat = core.NewBO(t, spec, template, opts.boOptions())
 	}
-	sess := core.NewSession(strat, ev, core.SessionOptions{
+	sess := core.NewSession(strat, b, core.SessionOptions{
 		MaxSteps:       opts.Steps,
 		StopAfterZeros: opts.StopAfterZeros,
+		Retry:          opts.Retry,
+		TrialTimeout:   opts.TrialTimeout,
 		Observer:       opts.Observer,
 	})
 	return &Tuner{
@@ -322,7 +367,7 @@ func LoadTunerStateFile(path string) (*TunerState, error) {
 }
 
 // ResumeTuner reconstructs a session from a snapshot against the same
-// topology (and an evaluator of the caller's choice). The snapshot's
+// topology (and a backend of the caller's choice). The snapshot's
 // ask/tell log is replayed against a freshly built optimizer, restoring
 // its state — RNG position included — exactly, so the resumed run
 // continues bit-identically to one that was never interrupted; the
@@ -330,11 +375,12 @@ func LoadTunerStateFile(path string) (*TunerState, error) {
 // topology or options diverge from the snapshotted run.
 //
 // opts carries the non-serializable and extendable pieces: Observer,
-// a raised Steps budget (zero keeps the snapshot's), and — for
-// snapshots of sessions that injected a custom Strategy — an equally
-// fresh Strategy instance. All other fields are taken from the
+// a raised Steps budget, a Retry policy and TrialTimeout fitting the
+// new backend's failure profile (zero values keep the snapshot's), and
+// — for snapshots of sessions that injected a custom Strategy — an
+// equally fresh Strategy instance. All other fields are taken from the
 // snapshot.
-func ResumeTuner(st *TunerState, t *Topology, ev Evaluator, opts TunerOptions) (*Tuner, error) {
+func ResumeTuner(st *TunerState, t *Topology, b Backend, opts TunerOptions) (*Tuner, error) {
 	if st == nil || st.Session == nil {
 		return nil, fmt.Errorf("stormtune: nil tuner state")
 	}
@@ -371,6 +417,13 @@ func ResumeTuner(st *TunerState, t *Topology, ev Evaluator, opts TunerOptions) (
 	if resolved.Parallel < 1 {
 		resolved.Parallel = 1
 	}
+	// A resumed session may face a different failure profile than the
+	// snapshotted one — e.g. resuming a local-simulator run against a
+	// RemoteBackend — so a non-zero Retry/TrialTimeout overrides the
+	// snapshot's (stored once, in st.Session; core.ResumeSession falls
+	// back to it when these are zero).
+	resolved.Retry = opts.Retry
+	resolved.TrialTimeout = opts.TrialTimeout
 
 	var strat Strategy
 	if st.Custom {
@@ -385,9 +438,11 @@ func ResumeTuner(st *TunerState, t *Topology, ev Evaluator, opts TunerOptions) (
 		}
 		strat = core.NewBO(t, st.Cluster, st.Template, resolved.boOptions())
 	}
-	sess, err := core.ResumeSession(st.Session, strat, ev, core.SessionOptions{
+	sess, err := core.ResumeSession(st.Session, strat, b, core.SessionOptions{
 		MaxSteps:       resolved.Steps,
 		StopAfterZeros: resolved.StopAfterZeros,
+		Retry:          resolved.Retry,
+		TrialTimeout:   resolved.TrialTimeout,
 		Observer:       resolved.Observer,
 	})
 	if err != nil {
