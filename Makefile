@@ -1,0 +1,52 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep the two in sync.
+
+# bash for pipefail: a crashing benchmark run must fail the pipe, not
+# hand benchjson a partial report that slips through the gate.
+SHELL := /bin/bash
+
+# GATE_BENCH selects both what the gate runs and what benchcmp filters
+# on — one variable, so the two sets cannot diverge (a baseline
+# refreshed from a fuller report must never contain benchmarks the gate
+# run does not produce).
+GATE_BENCH   = ^BenchmarkBOSuggest(Sequential|Parallel)Scorer$$
+GATE_PERCENT = 0.30
+
+.PHONY: build test lint bench bench-baseline bench-gate dash-smoke
+
+build:
+	go build ./... && go build ./examples/...
+
+test:
+	go test -short -race ./...
+
+# staticcheck honors the committed staticcheck.conf. Install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@latest
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+	  echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
+	go vet ./...
+	staticcheck ./...
+
+bench:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# Refresh the committed bench-regression baseline. Run this on the same
+# class of machine CI uses (or accept that the first CI run after a
+# hardware change may need a re-baseline), then commit the file:
+#   make bench-baseline && git add BENCH_baseline.json
+bench-baseline:
+	set -o pipefail; go test -run '^$$' -bench '$(GATE_BENCH)' -benchtime 3x -count 3 . \
+	  | go run ./cmd/benchjson -o BENCH_baseline.json
+
+# The CI regression gate: fresh scorer numbers vs the committed
+# baseline, failing on >$(GATE_PERCENT) ns/op growth.
+bench-gate:
+	set -o pipefail; go test -run '^$$' -bench '$(GATE_BENCH)' -benchtime 3x -count 3 . \
+	  | go run ./cmd/benchjson -o BENCH_gate.json
+	go run ./cmd/benchcmp -baseline BENCH_baseline.json -current BENCH_gate.json \
+	  -filter '$(GATE_BENCH)' -threshold $(GATE_PERCENT)
+
+# The CI dashboard smoke test, runnable locally.
+dash-smoke:
+	./scripts/dash-smoke.sh

@@ -1,0 +1,143 @@
+// Command benchcmp diffs two benchjson reports and fails on
+// regressions, so CI can gate merges on scorer performance.
+//
+// Usage:
+//
+//	benchcmp -baseline BENCH_baseline.json -current BENCH_abc123.json \
+//	         [-filter '^BenchmarkBOSuggest…$'] [-threshold 0.30]
+//
+// The gated set is whatever the committed baseline contains (the
+// Makefile's GATE_BENCH variable owns it); -filter narrows both sides
+// further when set.
+//
+// For every benchmark matching -filter, the minimum ns/op across the
+// report's entries (repeated -count runs collapse to their fastest,
+// which is the standard way to de-noise one-shot benchmarks) is
+// compared between the two reports. The command exits non-zero when
+//
+//   - a filtered benchmark regresses by more than -threshold
+//     (current > baseline × (1 + threshold)), or
+//   - a filtered benchmark present in the baseline is missing from the
+//     current report (a silently deleted benchmark must not pass the
+//     gate).
+//
+// Filtered benchmarks new in the current report are listed but do not
+// fail the run — refresh the baseline (`make bench-baseline`) to start
+// gating them. Improvements are reported and always pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"stormtune/internal/benchfmt"
+)
+
+// Benchmark and Report come from the schema package shared with
+// cmd/benchjson, so gate and writer cannot drift apart.
+type (
+	Benchmark = benchfmt.Benchmark
+	Report    = benchfmt.Report
+)
+
+func load(path string) (Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Report{}, err
+	}
+	defer f.Close()
+	var r Report
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// best collapses a report to benchmark → fastest ns/op, keeping only
+// names the filter accepts.
+func best(r Report, filter *regexp.Regexp) map[string]float64 {
+	out := map[string]float64{}
+	for _, b := range r.Benchmarks {
+		if b.NsPerOp <= 0 || !filter.MatchString(b.Name) {
+			continue
+		}
+		if cur, ok := out[b.Name]; !ok || b.NsPerOp < cur {
+			out[b.Name] = b.NsPerOp
+		}
+	}
+	return out
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	currentPath := flag.String("current", "", "fresh report to gate (required)")
+	filterExpr := flag.String("filter", "", "regexp selecting the gated benchmarks (empty: everything in the baseline — the Makefile's GATE_BENCH owns the gated set)")
+	threshold := flag.Float64("threshold", 0.30, "maximum tolerated ns/op regression (0.30 = +30%)")
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -current is required")
+		os.Exit(2)
+	}
+	filter, err := regexp.Compile(*filterExpr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp: bad -filter:", err)
+		os.Exit(2)
+	}
+
+	baseRep, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	curRep, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	base := best(baseRep, filter)
+	cur := best(curRep, filter)
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: baseline has no benchmarks matching %q — refresh it (make bench-baseline)\n", *filterExpr)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("gate: %q, threshold +%.0f%% ns/op (baseline %s / current %s)\n",
+		*filterExpr, *threshold*100, baseRep.GoVersion, curRep.GoVersion)
+	failed := false
+	for _, n := range names {
+		b := base[n]
+		c, ok := cur[n]
+		if !ok {
+			fmt.Printf("  FAIL %-44s missing from current report\n", n)
+			failed = true
+			continue
+		}
+		delta := (c - b) / b
+		verdict := "ok  "
+		if delta > *threshold {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("  %s %-44s %12.0f → %12.0f ns/op  (%+.1f%%)\n", verdict, n, b, c, delta*100)
+	}
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			fmt.Printf("  new  %-44s %12.0f ns/op (not gated; refresh the baseline to gate it)\n", n, cur[n])
+		}
+	}
+	if failed {
+		fmt.Println("benchcmp: regression gate FAILED — investigate, or refresh BENCH_baseline.json if the change is intentional (make bench-baseline)")
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: gate passed")
+}

@@ -25,37 +25,16 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"stormtune/internal/benchfmt"
 )
 
-// Benchmark is one parsed benchmark result.
-type Benchmark struct {
-	// Name is the benchmark name with the -N CPU suffix stripped.
-	Name string `json:"name"`
-	// Package is the Go package the benchmark ran in (from the
-	// preceding "pkg:" line; empty if go test printed none).
-	Package string `json:"package,omitempty"`
-	// Procs is the GOMAXPROCS suffix (-8 → 8); 1 if absent.
-	Procs int `json:"procs"`
-	// Iterations is the b.N the benchmark ran.
-	Iterations int64 `json:"iterations"`
-	// NsPerOp is the headline metric.
-	NsPerOp float64 `json:"nsPerOp"`
-	// Metrics holds every additional "value unit" pair (B/op,
-	// allocs/op, custom units).
-	Metrics map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Report is the file benchjson writes.
-type Report struct {
-	// GeneratedAt is the UTC wall-clock time of the conversion.
-	GeneratedAt time.Time `json:"generatedAt"`
-	// GoVersion, GOOS and GOARCH pin the toolchain and platform.
-	GoVersion string `json:"goVersion"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	// Benchmarks holds every parsed result in input order.
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
+// Benchmark and Report come from the schema package shared with
+// cmd/benchcmp, so writer and gate cannot drift apart.
+type (
+	Benchmark = benchfmt.Benchmark
+	Report    = benchfmt.Report
+)
 
 func main() {
 	out := flag.String("o", "BENCH_results.json", "output path for the JSON report")

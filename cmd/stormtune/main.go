@@ -9,7 +9,7 @@
 //	          [-async] [-timeout D] [-params h|h-bs-bp|bs-bp-cc]
 //	          [-tiim X] [-contention X] [-samples K] [-seed N] [-quiet]
 //	          [-remote URL[,URL...]] [-retries N] [-retry-backoff D]
-//	          [-trial-timeout D]
+//	          [-trial-timeout D] [-dash ADDR]
 //
 // The run is a tuning session: -timeout bounds its wall-clock (the best
 // configuration found so far is reported when the deadline hits, and
@@ -24,6 +24,13 @@
 // measurements — timeouts, dropped connections, killed workers — are
 // retried per -retries/-retry-backoff before the trial is recorded as
 // a pessimistic failure; -trial-timeout bounds each attempt.
+//
+// -dash ADDR serves a live dashboard for the duration of the run: an
+// HTML page at /, the full JSON state at /api/state, a Server-Sent
+// Events stream at /api/events (replay from any sequence number with
+// ?after=N), and /healthz. When tuning a -remote pool the state JSON
+// includes per-worker in-flight counts. The server shuts down cleanly
+// when the run completes or is cancelled.
 //
 // Serving:
 //
@@ -42,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -117,6 +125,15 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// displayAddr renders a listen address as something clickable: a bare
+// ":8090" becomes "localhost:8090".
+func displayAddr(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return "localhost" + addr
+	}
+	return addr
+}
+
 func runServe(args []string) {
 	fs := flag.NewFlagSet("stormtune serve", flag.ExitOnError)
 	tf := addTopoFlags(fs)
@@ -184,6 +201,7 @@ func runTune(args []string) {
 	retries := fs.Int("retries", 3, "evaluation attempts per trial before recording a pessimistic failure")
 	retryBackoff := fs.Duration("retry-backoff", time.Second, "wait before a trial's first retry (doubles per attempt)")
 	trialTimeout := fs.Duration("trial-timeout", 0, "deadline per evaluation attempt (0 = none)")
+	dashAddr := fs.String("dash", "", "serve a live dashboard on this address (e.g. :8090) for the duration of the run")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	fs.Parse(args)
 
@@ -248,6 +266,7 @@ func runTune(args []string) {
 	// workers. Remote evaluations get the retry policy — a lost
 	// measurement is the expected failure mode over a network.
 	var backend stormtune.Backend
+	var pool *stormtune.BackendPool
 	mode := "in-process simulator"
 	if *remote != "" {
 		if *tf.samples > 1 {
@@ -271,10 +290,11 @@ func runTune(args []string) {
 			}
 			members = append(members, rb)
 		}
-		backend, err = stormtune.NewBackendPool(members...)
+		pool, err = stormtune.NewBackendPool(members...)
 		if err != nil {
 			fatal(err)
 		}
+		backend = pool
 		opts.Retry = stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
 		mode = fmt.Sprintf("%d remote worker(s)", len(members))
 	} else {
@@ -312,6 +332,13 @@ func runTune(args []string) {
 		}
 	})
 
+	// The live dashboard: a Recorder accumulates the session's events
+	// and an HTTP server exposes them (/, /api/state, /api/events SSE,
+	// /healthz) for the duration of the run.
+	if *dashAddr != "" {
+		opts.Recorder = stormtune.NewRecorder()
+	}
+
 	tn, err := stormtune.NewTuner(t, backend, opts)
 	if err != nil {
 		fatal(err)
@@ -328,6 +355,37 @@ func runTune(args []string) {
 	if opts.Strategy != nil {
 		name = opts.Strategy.Name()
 	}
+
+	var dashStop context.CancelFunc
+	var dashErr chan error
+	if *dashAddr != "" {
+		dopts := stormtune.DashboardOptions{
+			Title: "stormtune · " + t.Name,
+			Info: map[string]any{
+				"topology": t.Name, "strategy": name, "steps": *steps,
+				"dispatch": dispatch, "mode": mode,
+			},
+		}
+		if pool != nil {
+			dopts.PoolStats = pool.Stats
+		}
+		handler := stormtune.NewDashboard(opts.Recorder, dopts)
+		// Bind synchronously so a bad address or taken port fails the
+		// command before the run starts.
+		ln, err := net.Listen("tcp", *dashAddr)
+		if err != nil {
+			fatal(fmt.Errorf("dashboard: %w", err))
+		}
+		var dashCtx context.Context
+		dashCtx, dashStop = context.WithCancel(context.Background())
+		defer dashStop()
+		dashErr = make(chan error, 1)
+		go func() {
+			dashErr <- stormtune.ServeDashboardListener(dashCtx, ln, handler, 3*time.Second)
+		}()
+		fmt.Printf("dashboard on http://%s/ — GET /api/state, SSE /api/events\n", displayAddr(*dashAddr))
+	}
+
 	fmt.Printf("tuning %s (%d nodes) with %s for up to %d steps (%s, %s)...\n",
 		t.Name, t.N(), name, *steps, dispatch, mode)
 
@@ -340,6 +398,15 @@ func runTune(args []string) {
 	}
 	if !*quiet {
 		fmt.Println()
+	}
+	if dashStop != nil {
+		// The run is over: every event (pass_completed included) is in
+		// the recorder, so SSE subscribers drain and hang up on their
+		// own; the graceful shutdown just bounds the wait.
+		dashStop()
+		if derr := <-dashErr; derr != nil {
+			fmt.Fprintln(os.Stderr, "dashboard shutdown:", derr)
+		}
 	}
 	if err != nil {
 		fmt.Printf("session stopped early after %s (%v); reporting best so far\n",

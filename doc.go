@@ -136,6 +136,40 @@
 // to 0, so by default every lost round trip surfaces to the
 // RetryPolicy like any other lost evaluation.
 //
+// # Live observability
+//
+// The session's event stream becomes a live surface through two
+// composable pieces. A Recorder is an Observer that keeps the full
+// event history plus the derived state a human watching a run wants:
+// per-trial status (pending → running → retrying → done/failed),
+// attempt counts, wall-clock timing, the incumbent and the best-so-far
+// convergence curve — all queryable at any moment via
+// Recorder.Snapshot. MultiObserver composes it with other observers,
+// and TunerOptions.Recorder is the shorthand that wires one in next to
+// TunerOptions.Observer:
+//
+//	rec := stormtune.NewRecorder()
+//	tn, _ := stormtune.NewTuner(t, bk, stormtune.TunerOptions{
+//		Steps:    60,
+//		Recorder: rec,                                  // derived live state
+//		Observer: stormtune.ObserverFunc(logEvent),     // still delivered
+//	})
+//
+// NewDashboard serves a Recorder over HTTP: GET /api/state returns the
+// full JSON snapshot (plus per-worker in-flight counts when
+// DashboardOptions.PoolStats is wired to a BackendPool), GET
+// /api/events is a Server-Sent-Events stream of the history with
+// replay — ?after=N or the standard Last-Event-ID header resumes from
+// any sequence number, so late subscribers and reconnecting browsers
+// catch up before following live — GET /healthz is a liveness probe,
+// and GET / is an embedded self-refreshing page rendering the
+// incumbent curve and trial table. ServeDashboard runs it with a
+// graceful, bounded shutdown; the CLI's `stormtune tune -dash :8090`
+// serves it for the duration of a run. When resuming from a snapshot,
+// ResumeTuner primes TunerOptions.Recorder with the snapshotted
+// records first, so the rebuilt dashboard shows the whole incumbent
+// trace, not just the continuation.
+//
 // # Concurrent trials
 //
 // The paper evaluates one configuration at a time, but a real cluster

@@ -1,0 +1,37 @@
+// Package benchfmt defines the machine-readable benchmark report
+// schema shared by cmd/benchjson (which writes it) and cmd/benchcmp
+// (which gates on it), so the two halves of the CI bench pipeline
+// cannot drift apart silently.
+package benchfmt
+
+import "time"
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with the -N CPU suffix stripped.
+	Name string `json:"name"`
+	// Package is the Go package the benchmark ran in (from the
+	// preceding "pkg:" line; empty if go test printed none).
+	Package string `json:"package,omitempty"`
+	// Procs is the GOMAXPROCS suffix (-8 → 8); 1 if absent.
+	Procs int `json:"procs"`
+	// Iterations is the b.N the benchmark ran.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the headline metric.
+	NsPerOp float64 `json:"nsPerOp"`
+	// Metrics holds every additional "value unit" pair (B/op,
+	// allocs/op, custom units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the file benchjson writes and benchcmp reads.
+type Report struct {
+	// GeneratedAt is the UTC wall-clock time of the conversion.
+	GeneratedAt time.Time `json:"generatedAt"`
+	// GoVersion, GOOS and GOARCH pin the toolchain and platform.
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	// Benchmarks holds every parsed result in input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"stormtune/internal/storm"
@@ -169,32 +171,115 @@ func trialContext(ctx context.Context, tr Trial) (context.Context, context.Cance
 // evaluation, so a session driving q concurrent trials (RunAsync or
 // RunBatch) saturates up to q workers — the one-session, many-worker-
 // processes deployment the remote backend enables. Run blocks until a
-// member is free or ctx is done.
-func NewPoolBackend(members ...Backend) (Backend, error) {
+// member is free or ctx is done. The returned pool satisfies Backend
+// and additionally exposes per-worker counters through Stats — the
+// dashboard's "workers" table.
+func NewPoolBackend(members ...Backend) (*PoolBackend, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("core: pool backend needs at least one member")
 	}
-	free := make(chan Backend, len(members))
+	p := &PoolBackend{
+		free:    make(chan *poolWorker, len(members)),
+		workers: make([]*poolWorker, len(members)),
+	}
 	for i, b := range members {
 		if b == nil {
 			return nil, fmt.Errorf("core: pool backend member %d is nil", i)
 		}
-		free <- b
+		label := fmt.Sprintf("worker-%d", i)
+		// A remote backend knows its server address; prefer it as the
+		// human-readable label.
+		if u, ok := b.(interface{ URL() string }); ok {
+			label = u.URL()
+		}
+		w := &poolWorker{bk: b, label: label}
+		p.workers[i] = w
+		p.free <- w
 	}
-	return &poolBackend{free: free}, nil
+	return p, nil
 }
 
-type poolBackend struct {
-	free chan Backend
+// WorkerStats is one pool member's live counters.
+type WorkerStats struct {
+	// Worker labels the member: the remote backend's URL when it has
+	// one, "worker-N" otherwise.
+	Worker string `json:"worker"`
+	// InFlight is the number of evaluations the member is running now.
+	InFlight int `json:"inFlight"`
+	// Completed counts evaluations that returned a measurement.
+	Completed int64 `json:"completed"`
+	// Errors counts evaluations the member lost (Backend.Run errors);
+	// the session's RetryPolicy decides what happens next.
+	Errors int64 `json:"errors"`
+}
+
+type poolWorker struct {
+	bk    Backend
+	label string
+
+	inFlight  atomic.Int64
+	completed atomic.Int64
+	errors    atomic.Int64
+}
+
+// PoolBackend fans one session's concurrent trials out over a fixed
+// set of member backends. See NewPoolBackend.
+type PoolBackend struct {
+	free    chan *poolWorker
+	workers []*poolWorker
 }
 
 // Run implements Backend.
-func (p *poolBackend) Run(ctx context.Context, tr Trial) (storm.Result, error) {
+func (p *PoolBackend) Run(ctx context.Context, tr Trial) (storm.Result, error) {
 	select {
-	case b := <-p.free:
-		defer func() { p.free <- b }()
-		return b.Run(ctx, tr)
+	case w := <-p.free:
+		defer func() { p.free <- w }()
+		w.inFlight.Add(1)
+		defer w.inFlight.Add(-1)
+		start := time.Now()
+		res, err := w.bk.Run(ctx, tr)
+		switch {
+		case err == nil:
+			w.completed.Add(1)
+		case ctx.Err() == nil:
+			// Worker-originated failure: the context is intact, the
+			// member lost the measurement on its own.
+			w.errors.Add(1)
+		case tr.Timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) &&
+			time.Since(start) >= tr.Timeout*9/10:
+			// The trial's deadline expired while this member held it for
+			// essentially the whole budget: the member was too slow — a
+			// loss chargeable to it. The duration guard keeps the common
+			// non-worker causes out of the count (a deadline mostly
+			// consumed queueing for a free member; a session-wide
+			// deadline cutting an evaluation short); a session deadline
+			// that happens to expire within the trial budget's final
+			// tenth is still misattributed — a bounded, accepted
+			// imprecision. A plain cancellation says nothing about the
+			// member and counts nowhere.
+			w.errors.Add(1)
+		}
+		return res, err
 	case <-ctx.Done():
 		return storm.Result{}, ctx.Err()
 	}
+}
+
+// Size returns the number of pool members.
+func (p *PoolBackend) Size() int { return len(p.workers) }
+
+// Stats samples every member's counters, in construction order. It is
+// safe to call concurrently with Run — the dashboard polls it while
+// trials are in flight.
+func (p *PoolBackend) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = WorkerStats{
+			Worker:    w.label,
+			InFlight:  int(w.inFlight.Load()),
+			Completed: w.completed.Load(),
+			Errors:    w.errors.Load(),
+		}
+	}
+	return out
 }

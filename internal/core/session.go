@@ -332,6 +332,10 @@ func (s *Session) Run(ctx context.Context) (TuneResult, error) {
 		var tr Trial
 		if len(carry) > 0 {
 			tr, carry = carry[0], carry[1:]
+			// Re-dispatching a carried-over trial is a hand-out too; the
+			// event moves it out of "pending" on observers primed from
+			// the snapshot.
+			s.emit(TrialStarted{Trial: tr})
 		} else {
 			trials, err := s.Propose(ctx, 1)
 			if err != nil {
@@ -377,6 +381,11 @@ func (s *Session) RunBatch(ctx context.Context, q int) (TuneResult, error) {
 				n = len(carry)
 			}
 			trials, carry = carry[:n], carry[n:]
+			evs := make([]Event, len(trials))
+			for i, tr := range trials {
+				evs[i] = TrialStarted{Trial: tr}
+			}
+			s.emit(evs...)
 		} else {
 			var err error
 			trials, err = s.Propose(ctx, q)
@@ -433,6 +442,7 @@ func (s *Session) RunAsync(ctx context.Context, q int) (TuneResult, error) {
 	next := func(free int) []Trial {
 		var out []Trial
 		for free > 0 && len(carry) > 0 {
+			s.emit(TrialStarted{Trial: carry[0]})
 			out = append(out, carry[0])
 			carry = carry[1:]
 			free--

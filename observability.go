@@ -1,0 +1,86 @@
+package stormtune
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"stormtune/internal/core"
+	"stormtune/internal/dash"
+)
+
+// Live observability: a Recorder keeps the full event history and the
+// derived state of a session — per-trial status, attempt counts,
+// timing, the incumbent trace — and a Dashboard serves it over HTTP
+// (JSON snapshot, SSE event stream with replay, embedded live page).
+// Wire a Recorder in through TunerOptions.Recorder and serve
+// NewDashboard(rec, opts) for the duration of the run; the CLI's
+// `stormtune tune -dash :8090` does exactly this.
+type (
+	// Recorder is a concurrency-safe Observer keeping the event history
+	// and derived session state, queryable via Snapshot. Compose it with
+	// other observers via MultiObserver, or set TunerOptions.Recorder.
+	Recorder = core.Recorder
+	// RecorderSnapshot is the derived state at one instant.
+	RecorderSnapshot = core.RecorderSnapshot
+	// RecordedEvent is one history entry in serializable form; Seq is
+	// the SSE replay cursor.
+	RecordedEvent = core.RecordedEvent
+	// TrialView is the Recorder's per-trial state (status, attempts,
+	// timing, measurement).
+	TrialView = core.TrialView
+	// TrialStatus is a trial lifecycle state: pending, running,
+	// retrying, done or failed.
+	TrialStatus = core.TrialStatus
+	// IncumbentPoint is one point of the best-so-far curve.
+	IncumbentPoint = core.IncumbentPoint
+	// WorkerStats is one backend-pool member's live counters.
+	WorkerStats = core.WorkerStats
+	// Dashboard is the HTTP surface over a Recorder: GET /, /api/state,
+	// /api/events (SSE) and /healthz.
+	Dashboard = dash.Handler
+	// DashboardOptions configure a Dashboard (title, static run info,
+	// backend-pool stats source).
+	DashboardOptions = dash.Options
+)
+
+// Trial lifecycle states a TrialView reports.
+const (
+	StatusPending  = core.StatusPending
+	StatusRunning  = core.StatusRunning
+	StatusRetrying = core.StatusRetrying
+	StatusDone     = core.StatusDone
+	StatusFailed   = core.StatusFailed
+)
+
+// NewRecorder builds an empty Recorder.
+func NewRecorder() *Recorder { return core.NewRecorder() }
+
+// MultiObserver composes observers: each event is delivered to every
+// non-nil member in order. Use it to watch a session with a Recorder
+// and a progress printer at once.
+func MultiObserver(obs ...Observer) Observer { return core.MultiObserver(obs...) }
+
+// NewDashboard builds the HTTP dashboard over a recorder. The handler
+// is read-only and safe to serve while the session runs; mount it on a
+// mux of your own or serve it directly with ServeDashboard.
+func NewDashboard(rec *Recorder, opts DashboardOptions) *Dashboard {
+	return dash.New(rec, opts)
+}
+
+// ServeDashboard serves h on addr until ctx is cancelled, then shuts
+// the server down gracefully (SSE subscribers get a bounded grace
+// before the listener closes). It blocks; run it on its own goroutine
+// alongside the session driver. To make a bad address a synchronous
+// error before the run starts, bind the listener yourself and use
+// ServeDashboardListener.
+func ServeDashboard(ctx context.Context, addr string, h http.Handler, grace time.Duration) error {
+	return dash.Serve(ctx, addr, h, grace)
+}
+
+// ServeDashboardListener is ServeDashboard over a caller-bound
+// listener, which it takes ownership of.
+func ServeDashboardListener(ctx context.Context, ln net.Listener, h http.Handler, grace time.Duration) error {
+	return dash.ServeListener(ctx, ln, h, grace)
+}

@@ -1,0 +1,301 @@
+package stormtune
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRecorderObservesTunerRun wires a Recorder into a full run through
+// TunerOptions.Recorder and checks the derived state matches the
+// session summary.
+func TestRecorderObservesTunerRun(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	rec := NewRecorder()
+	opts := fastTunerOpts(5, 10)
+	opts.Cluster = ptrCluster(SmallCluster())
+	opts.Recorder = rec
+	tn, err := NewTuner(top, AsBackend(quietEval(top, SmallCluster())), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tn.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s := rec.Snapshot()
+	if !s.Done || s.Completed != len(res.Records) || s.Running != 0 {
+		t.Fatalf("snapshot: %+v vs %d records", s, len(res.Records))
+	}
+	best, _ := res.Best()
+	if s.Best != best.Result.Throughput || s.BestTrial != best.Step {
+		t.Fatalf("incumbent: recorder %v@%d, session %v@%d",
+			s.Best, s.BestTrial, best.Result.Throughput, best.Step)
+	}
+	// The best-so-far curve must equal the session's convergence trace.
+	want := res.BestSoFar()
+	if len(s.Incumbent) != len(want) {
+		t.Fatalf("curve length %d, want %d", len(s.Incumbent), len(want))
+	}
+	for i, p := range s.Incumbent {
+		if p.Best != want[i] {
+			t.Fatalf("curve[%d] = %v, want %v", i, p.Best, want[i])
+		}
+	}
+}
+
+// TestResumedRecorderMatchesPreSnapshotTrace is the satellite resume
+// test: a run is interrupted mid-way, its Recorder's incumbent trace
+// noted; ResumeTuner primes a fresh Recorder from the snapshot, which
+// must reproduce that trace exactly — and after the continuation the
+// rebuilt Recorder must match the Recorder of an uninterrupted run.
+func TestResumedRecorderMatchesPreSnapshotTrace(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	newOpts := func() TunerOptions {
+		o := fastTunerOpts(9, 14)
+		o.Cluster = ptrCluster(SmallCluster())
+		return o
+	}
+
+	// Reference: uninterrupted run observed by recorder "full".
+	fullRec := NewRecorder()
+	opts := newOpts()
+	opts.Recorder = fullRec
+	full, err := NewTuner(top, AsBackend(quietEval(top, SmallCluster())), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := full.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: recorder "half" sees the first 6 completions.
+	ctx, cancel := context.WithCancel(context.Background())
+	halfRec := NewRecorder()
+	n := 0
+	opts = newOpts()
+	opts.Recorder = halfRec
+	opts.Observer = ObserverFunc(func(e Event) {
+		if _, ok := e.(TrialCompleted); ok {
+			if n++; n == 6 {
+				cancel()
+			}
+		}
+	})
+	half, err := NewTuner(top, AsBackend(quietEval(top, SmallCluster())), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := half.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	preTrace := halfRec.IncumbentTrace()
+	preSnap := halfRec.Snapshot()
+
+	var buf bytes.Buffer
+	if err := half.Snapshot().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadTunerState(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume with a fresh recorder: ResumeTuner primes it from the
+	// snapshot before any live event.
+	resumedRec := NewRecorder()
+	resumed, err := ResumeTuner(st, top, AsBackend(quietEval(top, SmallCluster())),
+		TunerOptions{Recorder: resumedRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Before the continuation runs, the rebuilt trace must equal the
+	// pre-snapshot one.
+	rebuilt := resumedRec.IncumbentTrace()
+	if len(rebuilt) != len(preTrace) {
+		t.Fatalf("rebuilt trace has %d moves, pre-snapshot had %d: %+v vs %+v",
+			len(rebuilt), len(preTrace), rebuilt, preTrace)
+	}
+	for i := range rebuilt {
+		if rebuilt[i].TrialID != preTrace[i].TrialID || rebuilt[i].Best != preTrace[i].Best ||
+			rebuilt[i].Step != preTrace[i].Step {
+			t.Fatalf("trace[%d]: rebuilt %+v, pre-snapshot %+v", i, rebuilt[i], preTrace[i])
+		}
+	}
+	rs := resumedRec.Snapshot()
+	if rs.Completed != preSnap.Completed || rs.Best != preSnap.Best || rs.BestTrial != preSnap.BestTrial {
+		t.Fatalf("rebuilt state %+v, pre-snapshot %+v", rs, preSnap)
+	}
+
+	// Finish the run; the rebuilt recorder's final trace must equal the
+	// uninterrupted recorder's (resume is bit-identical, so the curves
+	// coincide move for move).
+	if _, err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Carried-over pending trials were re-dispatched (TrialStarted on
+	// the carry path) and finished: nothing may be stranded "pending".
+	for _, tv := range resumedRec.Snapshot().Trials {
+		if tv.Status != StatusDone && tv.Status != StatusFailed {
+			t.Fatalf("trial %d ended the run as %q", tv.ID, tv.Status)
+		}
+	}
+	gotTrace, wantTrace := resumedRec.IncumbentTrace(), fullRec.IncumbentTrace()
+	if len(gotTrace) != len(wantTrace) {
+		t.Fatalf("final traces differ in length: %d vs %d", len(gotTrace), len(wantTrace))
+	}
+	for i := range gotTrace {
+		if gotTrace[i].TrialID != wantTrace[i].TrialID || gotTrace[i].Best != wantTrace[i].Best {
+			t.Fatalf("final trace[%d]: resumed %+v, uninterrupted %+v", i, gotTrace[i], wantTrace[i])
+		}
+	}
+}
+
+// slowBackend delays each evaluation so a dashboard query can catch
+// trials in flight.
+type slowBackend struct {
+	inner Backend
+	delay time.Duration
+}
+
+func (s slowBackend) Run(ctx context.Context, tr Trial) (Result, error) {
+	select {
+	case <-time.After(s.delay):
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
+	return s.inner.Run(ctx, tr)
+}
+
+// TestDashboardOverLiveRun serves a dashboard over a running session
+// and consumes it like a second process would: /healthz, /api/state
+// mid-run, and the SSE stream until a trial_completed arrives — the
+// same assertions the CI smoke test makes against the real binary.
+func TestDashboardOverLiveRun(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	rec := NewRecorder()
+	opts := fastTunerOpts(3, 8)
+	opts.Cluster = ptrCluster(SmallCluster())
+	opts.Recorder = rec
+	backend := slowBackend{inner: AsBackend(quietEval(top, SmallCluster())), delay: 30 * time.Millisecond}
+	tn, err := NewTuner(top, backend, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewDashboard(rec, DashboardOptions{
+		Title: "live test",
+		Info:  map[string]any{"topology": top.Name},
+	}))
+	defer srv.Close()
+
+	runErr := make(chan error, 1)
+	go func() {
+		_, err := tn.Run(context.Background())
+		runErr <- err
+	}()
+
+	// Health first, like the CI probe loop.
+	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+
+	// SSE until the first completed trial.
+	sctx, scancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer scancel()
+	req, _ := http.NewRequestWithContext(sctx, http.MethodGet, srv.URL+"/api/events?after=0", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	sawCompleted := false
+	for !sawCompleted {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SSE ended before a trial completed: %v", err)
+		}
+		if strings.TrimSpace(line) == "event: trial_completed" {
+			sawCompleted = true
+		}
+	}
+
+	// State mid-run: trials present, run not done.
+	var st struct {
+		RecorderSnapshot
+		Title string         `json:"title"`
+		Info  map[string]any `json:"info"`
+	}
+	sresp, err := http.Get(srv.URL + "/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if st.Title != "live test" || st.Info["topology"] != top.Name {
+		t.Fatalf("state meta: %+v", st)
+	}
+	if len(st.Trials) == 0 {
+		t.Fatal("no trials in mid-run state")
+	}
+
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	if s := rec.Snapshot(); !s.Done || s.Completed != 8 {
+		t.Fatalf("final snapshot: %+v", s)
+	}
+}
+
+// TestBackendPoolStats checks the per-worker counters the dashboard's
+// workers table is built on.
+func TestBackendPoolStats(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	a := AsBackend(quietEval(top, SmallCluster()))
+	b := AsBackend(quietEval(top, SmallCluster()))
+	pool, err := NewBackendPool(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != 2 {
+		t.Fatalf("size %d", pool.Size())
+	}
+	opts := fastTunerOpts(4, 6)
+	opts.Cluster = ptrCluster(SmallCluster())
+	tn, err := NewTuner(top, pool, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn.RunAsync(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	stats := pool.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	var total int64
+	for _, w := range stats {
+		if w.InFlight != 0 || w.Errors != 0 {
+			t.Fatalf("idle pool reports activity: %+v", w)
+		}
+		if !strings.HasPrefix(w.Worker, "worker-") {
+			t.Fatalf("label %q", w.Worker)
+		}
+		total += w.Completed
+	}
+	if total != 6 {
+		t.Fatalf("pool completed %d evaluations, want 6", total)
+	}
+}

@@ -66,11 +66,18 @@ type (
 // migrate by wrapping: NewTuner(t, AsBackend(ev), opts).
 func AsBackend(ev Evaluator) Backend { return core.AsBackend(ev) }
 
+// BackendPool fans one session's concurrent trials out over a fixed
+// set of member backends; its Stats method exposes per-worker in-flight
+// counts for the dashboard's workers table.
+type BackendPool = core.PoolBackend
+
 // NewBackendPool distributes concurrent trials over member backends —
 // e.g. one NewRemoteBackend per worker process — so a single session
 // driving RunAsync(ctx, q) saturates up to q workers. Each Run borrows
-// a free member for the duration of the evaluation.
-func NewBackendPool(members ...Backend) (Backend, error) {
+// a free member for the duration of the evaluation; Stats samples the
+// members' live counters (wire it into DashboardOptions.PoolStats to
+// watch the pool).
+func NewBackendPool(members ...Backend) (*BackendPool, error) {
 	return core.NewPoolBackend(members...)
 }
 
@@ -109,6 +116,11 @@ type TunerOptions struct {
 	TrialTimeout time.Duration
 	// Observer receives the session's typed events; nil disables.
 	Observer Observer
+	// Recorder, when set, also receives every event (composed with
+	// Observer via MultiObserver) and accumulates the live state the
+	// dashboard serves. ResumeTuner primes it from the snapshot first,
+	// so a resumed run's dashboard shows the whole incumbent trace.
+	Recorder *Recorder
 	// Strategy overrides the built-in Bayesian optimizer with a custom
 	// strategy (e.g. NewPLA). Snapshots of such a session can only be
 	// resumed by supplying an equally fresh Strategy to ResumeTuner.
@@ -121,6 +133,16 @@ type TunerOptions struct {
 	HyperSamples     int
 	LocalSearchIters int
 	MaxGPPoints      int
+}
+
+// composedObserver wires the Recorder in next to the Observer. The
+// typed-nil check matters: a nil *Recorder must not reach MultiObserver
+// as a non-nil Observer interface.
+func (o TunerOptions) composedObserver() Observer {
+	if o.Recorder == nil {
+		return o.Observer
+	}
+	return core.MultiObserver(o.Recorder, o.Observer)
 }
 
 func (o TunerOptions) boOptions() BOOptions {
@@ -196,7 +218,7 @@ func NewTuner(t *Topology, b Backend, opts TunerOptions) (*Tuner, error) {
 		StopAfterZeros: opts.StopAfterZeros,
 		Retry:          opts.Retry,
 		TrialTimeout:   opts.TrialTimeout,
-		Observer:       opts.Observer,
+		Observer:       opts.composedObserver(),
 	})
 	return &Tuner{
 		sess:     sess,
@@ -374,8 +396,9 @@ func LoadTunerStateFile(path string) (*TunerState, error) {
 // replay cross-checks every regenerated configuration and fails if the
 // topology or options diverge from the snapshotted run.
 //
-// opts carries the non-serializable and extendable pieces: Observer,
-// a raised Steps budget, a Retry policy and TrialTimeout fitting the
+// opts carries the non-serializable and extendable pieces: Observer, a
+// Recorder (primed from the snapshot so its dashboard shows the whole
+// run), a raised Steps budget, a Retry policy and TrialTimeout fitting the
 // new backend's failure profile (zero values keep the snapshot's), and
 // — for snapshots of sessions that injected a custom Strategy — an
 // equally fresh Strategy instance. All other fields are taken from the
@@ -407,6 +430,7 @@ func ResumeTuner(st *TunerState, t *Topology, b Backend, opts TunerOptions) (*Tu
 		Template:         &st.Template,
 		Cluster:          &st.Cluster,
 		Observer:         opts.Observer,
+		Recorder:         opts.Recorder,
 	}
 	if opts.Steps > 0 {
 		resolved.Steps = opts.Steps
@@ -443,10 +467,18 @@ func ResumeTuner(st *TunerState, t *Topology, b Backend, opts TunerOptions) (*Tu
 		StopAfterZeros: resolved.StopAfterZeros,
 		Retry:          resolved.Retry,
 		TrialTimeout:   resolved.TrialTimeout,
-		Observer:       resolved.Observer,
+		Observer:       resolved.composedObserver(),
 	})
 	if err != nil {
 		return nil, err
+	}
+	// Rebuild the recorder's history from the snapshot — only now that
+	// the replay cross-check accepted it (a rejected snapshot must not
+	// leave its records in the caller's recorder), and before any live
+	// event, so a dashboard shows the pre-snapshot incumbent trace and
+	// the carried-over pending trials.
+	if resolved.Recorder != nil {
+		resolved.Recorder.Prime(st.Session)
 	}
 	return &Tuner{
 		sess:     sess,
