@@ -9,10 +9,10 @@ SHELL := /bin/bash
 # on — one variable, so the two sets cannot diverge (a baseline
 # refreshed from a fuller report must never contain benchmarks the gate
 # run does not produce).
-GATE_BENCH   = ^BenchmarkBOSuggest(Sequential|Parallel)Scorer$$
+GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|FleetSchedule)$$
 GATE_PERCENT = 0.30
 
-.PHONY: build test lint bench bench-baseline bench-gate dash-smoke
+.PHONY: build test lint bench bench-baseline bench-gate dash-smoke fleet-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -50,3 +50,8 @@ bench-gate:
 # The CI dashboard smoke test, runnable locally.
 dash-smoke:
 	./scripts/dash-smoke.sh
+
+# The CI fleet smoke test: two live serve workers, a real 3-session
+# `stormtune fleet` run, /api/fleet + per-session SSE probes.
+fleet-smoke:
+	./scripts/fleet-smoke.sh

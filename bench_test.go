@@ -27,6 +27,7 @@ import (
 	"stormtune/internal/bo"
 	"stormtune/internal/experiments"
 	"stormtune/internal/gp"
+	"stormtune/internal/scheduler"
 )
 
 var printed sync.Map
@@ -180,6 +181,48 @@ func benchmarkSuggestWorkers(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		u := opt.Suggest()
 		opt.Observe(u, obj(u))
+	}
+}
+
+// BenchmarkFleetSchedule measures the fleet scheduler's slot-allocation
+// hot path: the weighted fair-share pick plus the grant/release
+// bookkeeping, across 64 sessions with mixed weights and per-session
+// in-flight caps — the decision made every time a shared slot frees up
+// under `stormtune fleet`. One benchmark op is 4096 decisions, so the
+// ns/op is stable at the gate's small -benchtime. Gated against
+// BENCH_baseline.json by cmd/benchcmp.
+func BenchmarkFleetSchedule(b *testing.B) {
+	const sessions, slots, rounds = 64, 16, 4096
+	weights := make([]float64, sessions)
+	caps := make([]int, sessions)
+	for i := range weights {
+		weights[i] = float64(1 + i%4)
+		caps[i] = 1 + i%3
+	}
+	share := scheduler.NewFairShare(weights)
+	inflight := make([]int, sessions)
+	eligible := make([]bool, sessions)
+	// Grants release FIFO through a fixed ring: the oldest in-flight
+	// trial completes whenever the shared slots fill up.
+	var ring [slots]int
+	head, held := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < rounds; r++ {
+			for j := range eligible {
+				eligible[j] = inflight[j] < caps[j]
+			}
+			if g := share.Pick(eligible); g >= 0 {
+				inflight[g]++
+				ring[(head+held)%slots] = g
+				held++
+			}
+			if held == slots {
+				inflight[ring[head]]--
+				head = (head + 1) % slots
+				held--
+			}
+		}
 	}
 }
 

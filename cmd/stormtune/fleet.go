@@ -1,0 +1,437 @@
+// The fleet subcommand: run many tuning sessions concurrently over one
+// shared worker pool, with an aggregated dashboard.
+//
+//	stormtune fleet -manifest fleet.json [-dash ADDR] [-slots N]
+//	                [-timeout D] [-retries N] [-retry-backoff D]
+//	                [-trial-timeout D] [-quiet]
+//
+// The manifest is a small JSON document naming the shared workers and
+// the sessions to run over them:
+//
+//	{
+//	  "title": "nightly retune",
+//	  "workers": ["http://127.0.0.1:8077", "http://127.0.0.1:8078"],
+//	  "slots": 2,
+//	  "sessions": [
+//	    {"name": "bo-a", "topology": "small", "strategy": "bo",
+//	     "steps": 40, "seed": 1, "weight": 1},
+//	    {"name": "bo-b", "topology": "small", "strategy": "ibo",
+//	     "steps": 30, "seed": 2, "weight": 2}
+//	  ]
+//	}
+//
+// With "workers" set, every session tunes over one shared pool of
+// `stormtune serve` processes; since each worker serves a single
+// topology, all sessions must then tune that topology (budgets,
+// strategies, seeds and weights are free to differ — the check is by
+// structural fingerprint, exactly like `stormtune tune -remote`).
+// Without workers each session evaluates against its own in-process
+// simulator and the sessions may tune different topologies; the fleet
+// scheduler still enforces the shared slot budget, which then models a
+// shared cluster's trial capacity.
+//
+// "slots" caps the fleet-wide number of in-flight trials (default: the
+// worker count, or the session count in-process). Each session is
+// additionally capped by its own cluster's concurrent-trial capacity.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"time"
+
+	"stormtune"
+)
+
+// fleetManifest is the -manifest document.
+type fleetManifest struct {
+	// Title labels the dashboard (default "stormtune fleet").
+	Title string `json:"title,omitempty"`
+	// Workers are `stormtune serve` URLs forming the shared pool; empty
+	// means in-process simulators.
+	Workers []string `json:"workers,omitempty"`
+	// Slots is the fleet-wide in-flight trial cap; 0 defaults to
+	// len(Workers), or len(Sessions) in-process.
+	Slots int `json:"slots,omitempty"`
+	// Sessions are the tuning sessions to run.
+	Sessions []fleetSession `json:"sessions"`
+}
+
+// fleetSession is one manifest entry: the topology knobs (shared with
+// the tune/serve flags) plus the session's strategy, budget and fleet
+// weight.
+type fleetSession struct {
+	// Name keys the session in results and dashboard URLs; default
+	// "<topology>-<strategy>-<index>".
+	Name string `json:"name,omitempty"`
+	topoSpec
+	// Strategy is pla, ipla, bo or ibo (default bo).
+	Strategy string `json:"strategy,omitempty"`
+	// Steps is the session's evaluation budget (default 60).
+	Steps int `json:"steps,omitempty"`
+	// Params selects the searched parameters: h, h-bs-bp or bs-bp-cc.
+	Params string `json:"params,omitempty"`
+	// Weight scales the session's share of slot grants (≤ 0 means 1).
+	Weight float64 `json:"weight,omitempty"`
+	// StopAfterZeros overrides the strategy default (3 for pla/ipla).
+	StopAfterZeros int `json:"stopAfterZeros,omitempty"`
+}
+
+func loadManifest(path string) (*fleetManifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m fleetManifest
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("manifest %s: %w", path, err)
+	}
+	if len(m.Sessions) == 0 {
+		return nil, fmt.Errorf("manifest %s: no sessions", path)
+	}
+	return &m, nil
+}
+
+// preparedSession is a manifest entry resolved into everything NewTuner
+// needs, minus the backend (the shared pool is built after every
+// session's topology has been checked against it).
+type preparedSession struct {
+	name     string
+	weight   float64
+	topology *stormtune.Topology
+	ev       stormtune.Evaluator
+	metric   stormtune.Metric
+	opts     stormtune.TunerOptions
+	strategy string
+	steps    int
+	seed     int64
+	samples  int
+}
+
+// prepareSessions resolves the manifest entries: topologies built,
+// strategies and parameter sets selected, names defaulted and checked
+// unique, per-session recorders created.
+func prepareSessions(man *fleetManifest, trialTimeout time.Duration,
+	progress func(name string) stormtune.Observer) ([]preparedSession, error) {
+	var out []preparedSession
+	names := make(map[string]bool)
+	for i, s := range man.Sessions {
+		if s.Seed == 0 {
+			s.Seed = 1
+		}
+		if s.Samples == 0 {
+			s.Samples = 1
+		}
+		if s.Steps <= 0 {
+			s.Steps = 60
+		}
+		strategy := s.Strategy
+		if strategy == "" {
+			strategy = "bo"
+		}
+		name := s.Name
+		if name == "" {
+			topoName := s.Topology
+			if s.Spec != "" {
+				topoName = "spec"
+			}
+			name = fmt.Sprintf("%s-%s-%d", topoName, strategy, i+1)
+		}
+		if names[name] {
+			return nil, fmt.Errorf("manifest: duplicate session name %q", name)
+		}
+		names[name] = true
+
+		t, ev, metric, err := s.topoSpec.build()
+		if err != nil {
+			return nil, fmt.Errorf("session %q: %w", name, err)
+		}
+		template := s.topoSpec.template(t)
+		set, err := paramSet(s.Params)
+		if err != nil {
+			return nil, fmt.Errorf("session %q: %w", name, err)
+		}
+		clusterSpec := stormtune.PaperCluster()
+		opts := stormtune.TunerOptions{
+			Steps:        s.Steps,
+			Set:          set,
+			Template:     &template,
+			Cluster:      &clusterSpec,
+			Seed:         s.Seed,
+			MaxGPPoints:  60,
+			TrialTimeout: trialTimeout,
+			Recorder:     stormtune.NewRecorder(),
+			Observer:     progress(name),
+		}
+		switch strategy {
+		case "pla":
+			opts.Strategy = stormtune.NewPLA(t, template)
+			opts.StopAfterZeros = 3
+		case "ipla":
+			opts.Strategy = stormtune.NewIPLA(t, template)
+			opts.StopAfterZeros = 3
+		case "bo":
+		case "ibo":
+			opts.Set = stormtune.InformedHints
+		default:
+			return nil, fmt.Errorf("session %q: unknown strategy %q", name, strategy)
+		}
+		if s.StopAfterZeros > 0 {
+			opts.StopAfterZeros = s.StopAfterZeros
+		}
+		out = append(out, preparedSession{
+			name: name, weight: s.Weight, topology: t, ev: ev, metric: metric,
+			opts: opts, strategy: strategy, steps: s.Steps, seed: s.Seed,
+			samples: s.Samples,
+		})
+	}
+	return out, nil
+}
+
+func runFleet(args []string) {
+	fs := flag.NewFlagSet("stormtune fleet", flag.ExitOnError)
+	manifestPath := fs.String("manifest", "", "path to the fleet manifest JSON (required)")
+	slotsFlag := fs.Int("slots", 0, "override the manifest's fleet-wide in-flight trial cap")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole fleet (0 = none)")
+	retries := fs.Int("retries", 3, "evaluation attempts per trial before recording a pessimistic failure")
+	retryBackoff := fs.Duration("retry-backoff", time.Second, "wait before a trial's first retry (doubles per attempt)")
+	trialTimeout := fs.Duration("trial-timeout", 0, "deadline per evaluation attempt (0 = none)")
+	dashAddr := fs.String("dash", "", "serve the aggregated fleet dashboard on this address (e.g. :8090)")
+	quiet := fs.Bool("quiet", false, "suppress the live progress line")
+	fs.Parse(args)
+
+	if *manifestPath == "" {
+		fmt.Fprintln(os.Stderr, "error: -manifest is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	man, err := loadManifest(*manifestPath)
+	if err != nil {
+		fatal(err)
+	}
+	remote := len(man.Workers) > 0
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	// Live progress: completed trials and the fleet-wide best, fed by
+	// every session's event stream.
+	var progMu sync.Mutex
+	var totalSteps, completed int
+	var best float64
+	var bestName string
+	progress := func(name string) stormtune.Observer {
+		return stormtune.ObserverFunc(func(e stormtune.Event) {
+			progMu.Lock()
+			defer progMu.Unlock()
+			switch ev := e.(type) {
+			case stormtune.NewBest:
+				if ev.Result.Throughput > best {
+					best = ev.Result.Throughput
+					bestName = name
+				}
+			case stormtune.TrialCompleted:
+				completed++
+				if !*quiet {
+					fmt.Printf("\rfleet: %4d/%d trials   best %12.0f tuples/s (%s)",
+						completed, totalSteps, best, bestName)
+				}
+			case stormtune.TrialFailed:
+				if ev.Permanent {
+					fmt.Fprintf(os.Stderr, "\n%s: trial %d failed permanently after %d attempts: %v\n",
+						name, ev.Trial.ID, ev.Attempt, ev.Err)
+				}
+			}
+		})
+	}
+
+	prepared, err := prepareSessions(man, *trialTimeout, progress)
+	if err != nil {
+		fatal(err)
+	}
+	for _, p := range prepared {
+		totalSteps += p.steps
+	}
+
+	retry := stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+	mode := "in-process simulators"
+
+	// The shared backend: in remote mode one pool of workers every
+	// session tunes over — which requires every session to tune the
+	// topology the workers serve (checked by structural fingerprint).
+	var pool *stormtune.BackendPool
+	if remote {
+		mode = fmt.Sprintf("%d shared remote worker(s)", len(man.Workers))
+		fp := stormtune.TopologyFingerprint(prepared[0].topology)
+		for _, p := range prepared {
+			if p.samples > 1 {
+				fatal(fmt.Errorf("session %q: samples has no effect with shared workers; start them with `stormtune serve -samples K`", p.name))
+			}
+			if got := stormtune.TopologyFingerprint(p.topology); got != fp {
+				fatal(fmt.Errorf("session %q tunes a different topology than session %q: a shared worker pool serves exactly one (run heterogeneous fleets in-process, without \"workers\")",
+					p.name, prepared[0].name))
+			}
+		}
+		var workers []stormtune.Backend
+		for _, u := range man.Workers {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			rb := stormtune.NewRemoteBackend(u, stormtune.RemoteBackendOptions{TransportRetries: 2})
+			if _, err := stormtune.CheckRemoteBackend(ctx, rb, prepared[0].topology, prepared[0].metric); err != nil {
+				fatal(err)
+			}
+			workers = append(workers, rb)
+		}
+		pool, err = stormtune.NewBackendPool(workers...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	slots := man.Slots
+	if *slotsFlag > 0 {
+		slots = *slotsFlag
+	}
+	if slots <= 0 {
+		if pool != nil {
+			slots = pool.Size()
+		} else {
+			slots = len(prepared)
+		}
+	}
+
+	fleetMembers := make([]stormtune.FleetMember, len(prepared))
+	for i, p := range prepared {
+		var backend stormtune.Backend
+		if pool != nil {
+			backend = pool
+			p.opts.Retry = retry
+		} else {
+			backend = stormtune.AsBackend(p.ev)
+			if *retries > 1 {
+				p.opts.Retry = retry
+			}
+		}
+		tn, err := stormtune.NewTuner(p.topology, backend, p.opts)
+		if err != nil {
+			fatal(fmt.Errorf("session %q: %w", p.name, err))
+		}
+		fleetMembers[i] = stormtune.FleetMember{Name: p.name, Tuner: tn, Weight: p.weight}
+	}
+	fleet, err := stormtune.NewFleet(stormtune.FleetOptions{Slots: slots}, fleetMembers...)
+	if err != nil {
+		fatal(err)
+	}
+	// Per-session dashboard info; the weight comes back from the fleet
+	// already normalized (≤ 0 means 1), so the CLI never re-derives the
+	// scheduler's rule.
+	sessionInfo := make(map[string]map[string]any, len(prepared))
+	for i, ss := range fleet.Status().Sessions {
+		p := prepared[i]
+		sessionInfo[ss.Name] = map[string]any{
+			"topology": p.topology.Name, "strategy": p.strategy,
+			"steps": p.steps, "seed": p.seed, "weight": ss.Weight,
+		}
+	}
+
+	title := man.Title
+	if title == "" {
+		title = "stormtune fleet"
+	}
+	var dashStop context.CancelFunc
+	var dashErr chan error
+	if *dashAddr != "" {
+		dopts := stormtune.FleetDashboardOptions{
+			Title: title,
+			Info: map[string]any{
+				"manifest": *manifestPath, "mode": mode, "slots": slots,
+				"sessions": len(prepared),
+			},
+			SessionInfo: sessionInfo,
+		}
+		if pool != nil {
+			dopts.PoolStats = pool.Stats
+		}
+		handler := stormtune.NewFleetDashboard(fleet, dopts)
+		// Bind synchronously so a bad address or taken port fails the
+		// command before any session starts.
+		ln, err := net.Listen("tcp", *dashAddr)
+		if err != nil {
+			fatal(fmt.Errorf("dashboard: %w", err))
+		}
+		var dashCtx context.Context
+		dashCtx, dashStop = context.WithCancel(context.Background())
+		defer dashStop()
+		dashErr = make(chan error, 1)
+		go func() {
+			dashErr <- stormtune.ServeDashboardListener(dashCtx, ln, handler, 3*time.Second)
+		}()
+		fmt.Printf("fleet dashboard on http://%s/ — GET /api/fleet, per-session /sessions/<name>/\n",
+			displayAddr(*dashAddr))
+	}
+
+	fmt.Printf("fleet: %d sessions over %d shared slot(s) (%s)\n", len(prepared), slots, mode)
+	start := time.Now()
+	results, err := fleet.Run(ctx)
+	if !*quiet {
+		fmt.Println()
+	}
+	if dashStop != nil {
+		// Every session's pass_completed is in its recorder, so
+		// per-session SSE subscribers drain and hang up on their own.
+		dashStop()
+		if derr := <-dashErr; derr != nil {
+			fmt.Fprintln(os.Stderr, "dashboard shutdown:", derr)
+		}
+	}
+	if err != nil {
+		fmt.Printf("fleet stopped early after %s (%v); reporting best so far\n",
+			time.Since(start).Round(time.Millisecond), err)
+	}
+
+	// Per-session summary, in manifest order; the fleet-wide best last.
+	var anyBest bool
+	var fleetBest float64
+	var fleetBestName string
+	fmt.Printf("%-24s %6s %9s %14s\n", "session", "steps", "best-step", "throughput")
+	for _, p := range prepared {
+		tr, ok := results[p.name]
+		if !ok {
+			continue
+		}
+		bestRec, found := tr.Best()
+		if !found {
+			fmt.Printf("%-24s %6d %9s %14s\n", p.name, len(tr.Records), "-", "no successful run")
+			continue
+		}
+		anyBest = true
+		if bestRec.Result.Throughput > fleetBest {
+			fleetBest = bestRec.Result.Throughput
+			fleetBestName = p.name
+		}
+		fmt.Printf("%-24s %6d %9d %14.0f\n", p.name, len(tr.Records), tr.BestStep, bestRec.Result.Throughput)
+	}
+	if !anyBest {
+		fmt.Fprintln(os.Stderr, "no session had a successful run")
+		os.Exit(1)
+	}
+	fmt.Printf("fleet best: %.0f tuples/s (%s) after %s\n",
+		fleetBest, fleetBestName, time.Since(start).Round(time.Millisecond))
+}

@@ -42,6 +42,18 @@
 // service (POST /run, GET /info, GET /healthz). -flaky N fails every
 // Nth run with HTTP 500 before evaluation — deterministic fault
 // injection for exercising the client-side retry path.
+//
+// Fleet tuning:
+//
+//	stormtune fleet -manifest fleet.json [-dash ADDR] [-slots N]
+//	                [-timeout D] [-retries N] [-retry-backoff D]
+//	                [-trial-timeout D] [-quiet]
+//
+// fleet runs many tuning sessions concurrently over one shared worker
+// pool, a fleet-level scheduler sharing the slots among them by
+// weighted fair share, and -dash serves one aggregated dashboard
+// (GET /api/fleet plus a full per-session dashboard under
+// /sessions/<name>/). See fleet.go for the manifest format.
 package main
 
 import (
@@ -67,11 +79,74 @@ func main() {
 		case "serve":
 			runServe(args[1:])
 			return
+		case "fleet":
+			runFleet(args[1:])
+			return
 		case "tune":
 			args = args[1:]
 		}
 	}
 	runTune(args)
+}
+
+// topoSpec are the topology/evaluator knobs one tuning run needs —
+// shared between the tune/serve flags and fleet manifest entries, so
+// the two surfaces cannot drift apart. The JSON tags are the manifest
+// field names.
+type topoSpec struct {
+	Topology   string  `json:"topology"`
+	Spec       string  `json:"spec,omitempty"`
+	TIIM       float64 `json:"tiim,omitempty"`
+	Contention float64 `json:"contention,omitempty"`
+	Seed       int64   `json:"seed,omitempty"`
+	Samples    int     `json:"samples,omitempty"`
+}
+
+// build constructs the topology and its simulator evaluator.
+func (ts topoSpec) build() (*stormtune.Topology, stormtune.Evaluator, stormtune.Metric, error) {
+	var t *stormtune.Topology
+	metric := stormtune.SinkTuples
+	switch {
+	case ts.Spec != "":
+		var err error
+		t, err = topo.LoadJSONFile(ts.Spec)
+		if err != nil {
+			return nil, nil, metric, err
+		}
+	case ts.Topology == "sundog":
+		t = stormtune.Sundog()
+		metric = stormtune.SourceTuples
+	default:
+		t = stormtune.BuildSynthetic(ts.Topology,
+			stormtune.Condition{TimeImbalance: ts.TIIM, ContentiousFraction: ts.Contention}, ts.Seed)
+	}
+	var ev stormtune.Evaluator = stormtune.NewFluidSim(t, stormtune.PaperCluster(), metric, ts.Seed)
+	if ts.Samples > 1 {
+		ev = stormtune.Averaged(ev, ts.Samples)
+	}
+	return t, ev, metric, nil
+}
+
+// template returns the non-searched deployment defaults for the
+// topology, matching the paper's setup per topology family.
+func (ts topoSpec) template(t *stormtune.Topology) stormtune.Config {
+	if ts.Topology == "sundog" && ts.Spec == "" {
+		return stormtune.DefaultConfig(t, 11)
+	}
+	return stormtune.DefaultSyntheticConfig(t, 1)
+}
+
+// paramSet resolves a -params / manifest "params" name.
+func paramSet(name string) (stormtune.ParamSet, error) {
+	switch name {
+	case "", "h":
+		return stormtune.Hints, nil
+	case "h-bs-bp":
+		return stormtune.HintsBatch, nil
+	case "bs-bp-cc":
+		return stormtune.BatchCC, nil
+	}
+	return stormtune.Hints, fmt.Errorf("unknown params %q (want h, h-bs-bp or bs-bp-cc)", name)
 }
 
 // topoFlags are the topology/evaluator knobs tune and serve share.
@@ -95,29 +170,18 @@ func addTopoFlags(fs *flag.FlagSet) topoFlags {
 	}
 }
 
+// toSpec collects the parsed flag values into a topoSpec.
+func (tf topoFlags) toSpec() topoSpec {
+	return topoSpec{
+		Topology: *tf.topology, Spec: *tf.spec,
+		TIIM: *tf.tiim, Contention: *tf.cont,
+		Seed: *tf.seed, Samples: *tf.samples,
+	}
+}
+
 // build constructs the topology and its simulator evaluator.
 func (tf topoFlags) build() (*stormtune.Topology, stormtune.Evaluator, stormtune.Metric, error) {
-	var t *stormtune.Topology
-	metric := stormtune.SinkTuples
-	switch {
-	case *tf.spec != "":
-		var err error
-		t, err = topo.LoadJSONFile(*tf.spec)
-		if err != nil {
-			return nil, nil, metric, err
-		}
-	case *tf.topology == "sundog":
-		t = stormtune.Sundog()
-		metric = stormtune.SourceTuples
-	default:
-		t = stormtune.BuildSynthetic(*tf.topology,
-			stormtune.Condition{TimeImbalance: *tf.tiim, ContentiousFraction: *tf.cont}, *tf.seed)
-	}
-	var ev stormtune.Evaluator = stormtune.NewFluidSim(t, stormtune.PaperCluster(), metric, *tf.seed)
-	if *tf.samples > 1 {
-		ev = stormtune.Averaged(ev, *tf.samples)
-	}
-	return t, ev, metric, nil
+	return tf.toSpec().build()
 }
 
 func fatal(err error) {
@@ -211,22 +275,11 @@ func runTune(args []string) {
 	}
 	clusterSpec := stormtune.PaperCluster()
 
-	var template stormtune.Config
-	if *tf.topology == "sundog" && *tf.spec == "" {
-		template = stormtune.DefaultConfig(t, 11)
-	} else {
-		template = stormtune.DefaultSyntheticConfig(t, 1)
-	}
+	template := tf.toSpec().template(t)
 
-	set := stormtune.Hints
-	switch *params {
-	case "h":
-	case "h-bs-bp":
-		set = stormtune.HintsBatch
-	case "bs-bp-cc":
-		set = stormtune.BatchCC
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -params %q\n", *params)
+	set, err := paramSet(*params)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(2)
 	}
 

@@ -170,6 +170,37 @@
 // records first, so the rebuilt dashboard shows the whole incumbent
 // trace, not just the continuation.
 //
+// # Fleet tuning
+//
+// A production tuning service runs many sessions at once — different
+// topologies, budgets, strategies and seeds — over a bounded pool of
+// evaluation capacity. NewFleet takes named FleetMembers (each a Tuner,
+// usually sharing one BackendPool and each carrying its own Recorder)
+// and Fleet.Run drives them all concurrently: a fleet-level scheduler
+// grants every freed slot to one session by weighted fair share
+// (stride scheduling — proportional to FleetMember.Weight, and no
+// session starves), the total number of in-flight trials never exceeds
+// FleetOptions.Slots, and each session is additionally capped by its
+// cluster's concurrent-trial capacity. Sessions keep their full
+// single-session behavior: retries, typed events, recorders,
+// snapshots.
+//
+//	a, _ := stormtune.NewTuner(t, pool, optsA) // optsA.Recorder = stormtune.NewRecorder()
+//	b, _ := stormtune.NewTuner(t, pool, optsB)
+//	fleet, _ := stormtune.NewFleet(stormtune.FleetOptions{Slots: pool.Size()},
+//		stormtune.FleetMember{Name: "a", Tuner: a},
+//		stormtune.FleetMember{Name: "b", Tuner: b, Weight: 2})
+//	results, _ := fleet.Run(ctx) // map[string]TuneResult, one per member
+//
+// Fleet.Status aggregates cross-session state (per-session progress,
+// incumbents, slot occupancy) and NewFleetDashboard serves it over
+// HTTP: GET /api/fleet is the aggregated JSON, GET / an embedded fleet
+// index page, and every member with a Recorder gets a complete
+// single-session dashboard — page, /api/state, replayable SSE
+// /api/events — under /sessions/{name}/. The CLI's `stormtune fleet
+// -manifest fleet.json -dash :8090` builds all of this from a small
+// JSON manifest (workers, slots, sessions).
+//
 // # Concurrent trials
 //
 // The paper evaluates one configuration at a time, but a real cluster

@@ -1,0 +1,95 @@
+package stormtune
+
+import (
+	"fmt"
+
+	"stormtune/internal/core"
+	"stormtune/internal/dash"
+)
+
+// Fleet tuning: many independent sessions — different topologies,
+// budgets, strategies and seeds — run concurrently over one shared pool
+// of evaluation slots. A fleet-level scheduler grants each freed slot
+// to one session by weighted fair share (stride scheduling: equal
+// weights share evenly, a weight-3 session gets three grants for every
+// one a weight-1 session gets, and no session starves), and the total
+// number of in-flight trials never exceeds the fleet's slot count — a
+// shared worker pool is saturated, never oversubscribed. The CLI's
+// `stormtune fleet -manifest fleet.json -dash :8090` drives one from a
+// manifest and serves the aggregated dashboard.
+type (
+	// Fleet drives several sessions over shared slots; build one with
+	// NewFleet and drive it with Run. Status aggregates cross-session
+	// state for the fleet dashboard.
+	Fleet = core.Fleet
+	// FleetStatus is the cross-session state at one instant: shared
+	// slot occupancy, per-session progress and the fleet-wide best.
+	FleetStatus = core.FleetStatus
+	// FleetSessionStatus is one session's entry in a FleetStatus.
+	FleetSessionStatus = core.FleetSessionStatus
+	// FleetDashboard is the aggregated HTTP surface over a Fleet:
+	// GET /, /api/fleet, /sessions/{name}/ (full per-session dashboards
+	// with SSE replay) and /healthz.
+	FleetDashboard = dash.FleetHandler
+	// FleetDashboardOptions configure a FleetDashboard (title, static
+	// info, per-session info, shared-pool stats source).
+	FleetDashboardOptions = dash.FleetOptions
+	// FleetState is the /api/fleet document a FleetDashboard serves.
+	FleetState = dash.FleetState
+)
+
+// FleetMember is one session of a fleet: a unique name (the result key
+// and dashboard URL segment), the Tuner to drive, and its scheduling
+// weight. The tuner must have a Backend and must not be driven through
+// its own Run/RunBatch/RunAsync while the fleet runs; its
+// TunerOptions.Recorder (when set) feeds the aggregated dashboard, and
+// its cluster's concurrent-trial capacity caps the session's own
+// in-flight trials within the fleet.
+type FleetMember struct {
+	// Name identifies the session; names must be unique and non-empty.
+	Name string
+	// Tuner is the session to drive.
+	Tuner *Tuner
+	// Weight scales the session's share of slot grants (≤ 0 means 1).
+	Weight float64
+}
+
+// FleetOptions configure a fleet.
+type FleetOptions struct {
+	// Slots is the total number of trials in flight across all sessions
+	// at any instant — size it to the shared worker pool's capacity
+	// (e.g. BackendPool.Size()). Values below 1 mean 1.
+	Slots int
+}
+
+// NewFleet builds a fleet over the given members. Typically every
+// member's Tuner shares one Backend — a BackendPool over `stormtune
+// serve` worker processes — and Slots equals the pool size, so the
+// fleet keeps every worker busy without ever queueing trials behind a
+// saturated pool.
+func NewFleet(opts FleetOptions, members ...FleetMember) (*Fleet, error) {
+	cms := make([]core.FleetMember, len(members))
+	for i, m := range members {
+		if m.Tuner == nil {
+			return nil, fmt.Errorf("stormtune: fleet member %d (%q) has no tuner", i, m.Name)
+		}
+		cms[i] = core.FleetMember{
+			Name:        m.Name,
+			Session:     m.Tuner.sess,
+			Weight:      m.Weight,
+			MaxInFlight: m.Tuner.bound,
+			Recorder:    m.Tuner.opts.Recorder,
+		}
+	}
+	return core.NewFleet(core.FleetOptions{Slots: opts.Slots}, cms...)
+}
+
+// NewFleetDashboard builds the aggregated HTTP dashboard over a fleet:
+// GET /api/fleet for the cross-session state, an embedded index page at
+// /, and a full per-session dashboard (page, /api/state, SSE
+// /api/events with replay-from-ID) under /sessions/{name}/ for every
+// member whose Tuner was given a Recorder. Serve it with ServeDashboard
+// or mount it on a mux of your own.
+func NewFleetDashboard(f *Fleet, opts FleetDashboardOptions) *FleetDashboard {
+	return dash.NewFleet(f, opts)
+}

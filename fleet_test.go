@@ -1,0 +1,119 @@
+package stormtune
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestPublicFleetRun drives a three-session fleet over one shared
+// backend through the public API — recorders wired in, aggregated
+// dashboard served — and checks the acceptance invariants: every
+// session finishes its budget, the fleet-wide best is the max over
+// sessions, and /api/fleet agrees with each session's /api/state.
+func TestPublicFleetRun(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	backend := AsBackend(quietEval(top, SmallCluster()))
+	steps := []int{6, 8, 5}
+	members := make([]FleetMember, len(steps))
+	recs := make([]*Recorder, len(steps))
+	names := []string{"bo-1", "bo-2", "bo-3"}
+	for i, n := range steps {
+		opts := fastTunerOpts(int64(i+1), n)
+		opts.Cluster = ptrCluster(SmallCluster())
+		recs[i] = NewRecorder()
+		opts.Recorder = recs[i]
+		tn, err := NewTuner(top, backend, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = FleetMember{Name: names[i], Tuner: tn, Weight: float64(i + 1)}
+	}
+	fleet, err := NewFleet(FleetOptions{Slots: 2}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := fleet.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wantBest float64
+	for i, name := range names {
+		tr, ok := results[name]
+		if !ok {
+			t.Fatalf("no result for %q", name)
+		}
+		if len(tr.Records) != steps[i] {
+			t.Fatalf("%q ran %d trials, want %d", name, len(tr.Records), steps[i])
+		}
+		best, found := tr.Best()
+		if !found {
+			t.Fatalf("%q found no best", name)
+		}
+		if best.Result.Throughput > wantBest {
+			wantBest = best.Result.Throughput
+		}
+		// The session's recorder saw the whole run.
+		s := recs[i].Snapshot()
+		if !s.Done || s.Completed != steps[i] {
+			t.Fatalf("%q recorder: %+v", name, s)
+		}
+	}
+
+	st := fleet.Status()
+	if !st.Done || st.Best != wantBest {
+		t.Fatalf("fleet status best %v done %v, want %v true", st.Best, st.Done, wantBest)
+	}
+
+	srv := httptest.NewServer(NewFleetDashboard(fleet, FleetDashboardOptions{Title: "public fleet"}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var fs FleetState
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Best != wantBest || len(fs.Sessions) != 3 || !fs.Done {
+		t.Fatalf("/api/fleet: %+v", fs)
+	}
+	for _, ss := range fs.Sessions {
+		sresp, err := http.Get(srv.URL + ss.StateURL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var state struct {
+			Completed int     `json:"completed"`
+			Best      float64 `json:"best"`
+			Done      bool    `json:"done"`
+		}
+		if err := json.NewDecoder(sresp.Body).Decode(&state); err != nil {
+			t.Fatal(err)
+		}
+		sresp.Body.Close()
+		if state.Completed != ss.Completed || state.Best != ss.Best || !state.Done {
+			t.Fatalf("session %q: /api/fleet %+v vs /api/state %+v", ss.Name, ss, state)
+		}
+	}
+}
+
+// TestPublicFleetRejectsAskTellTuner pins the validation path: a fleet
+// member whose tuner has no backend is rejected up front.
+func TestPublicFleetRejectsAskTellTuner(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	tn, err := NewTuner(top, nil, fastTunerOpts(1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFleet(FleetOptions{Slots: 1}, FleetMember{Name: "x", Tuner: tn}); err == nil {
+		t.Fatal("fleet accepted an ask/tell-only tuner")
+	}
+	if _, err := NewFleet(FleetOptions{Slots: 1}, FleetMember{Name: "x"}); err == nil {
+		t.Fatal("fleet accepted a nil tuner")
+	}
+}

@@ -1,0 +1,357 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"stormtune/internal/storm"
+)
+
+// countingBackend wraps a Backend and tracks concurrent Run calls —
+// the "shared pool capacity" invariant probe.
+type countingBackend struct {
+	bk       Backend
+	inflight atomic.Int32
+	peak     atomic.Int32
+	runs     atomic.Int32
+	delay    time.Duration
+}
+
+func (c *countingBackend) Run(ctx context.Context, tr Trial) (storm.Result, error) {
+	cur := c.inflight.Add(1)
+	for {
+		prev := c.peak.Load()
+		if cur <= prev || c.peak.CompareAndSwap(prev, cur) {
+			break
+		}
+	}
+	defer c.inflight.Add(-1)
+	c.runs.Add(1)
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	return c.bk.Run(ctx, tr)
+}
+
+func fleetMembers(t *testing.T, bk Backend, steps int, recorders bool, names ...string) []FleetMember {
+	t.Helper()
+	members := make([]FleetMember, len(names))
+	for i, name := range names {
+		var rec *Recorder
+		var obs Observer
+		if recorders {
+			rec = NewRecorder()
+			obs = rec
+		}
+		sess := NewSession(newTestBO(int64(i+1)), bk, SessionOptions{
+			MaxSteps: steps, Observer: obs,
+		})
+		members[i] = FleetMember{Name: name, Session: sess, Recorder: rec}
+	}
+	return members
+}
+
+// TestFleetRunsAllSessionsWithinCapacity drives three sessions over a
+// shared backend with 2 slots: every session finishes its budget, and
+// the backend never sees more than 2 concurrent evaluations.
+func TestFleetRunsAllSessionsWithinCapacity(t *testing.T) {
+	tp := testTopo()
+	bk := &countingBackend{bk: AsBackend(testEval(tp)), delay: 200 * time.Microsecond}
+	members := fleetMembers(t, bk, 6, true, "a", "b", "c")
+	f, err := NewFleet(FleetOptions{Slots: 2}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		tr, ok := results[name]
+		if !ok {
+			t.Fatalf("no result for session %q", name)
+		}
+		if len(tr.Records) != 6 {
+			t.Fatalf("session %q completed %d trials, want 6", name, len(tr.Records))
+		}
+		if _, found := tr.Best(); !found {
+			t.Fatalf("session %q found no best", name)
+		}
+	}
+	if got := bk.runs.Load(); got != 18 {
+		t.Fatalf("backend ran %d evaluations, want 18", got)
+	}
+	if p := bk.peak.Load(); p > 2 {
+		t.Fatalf("backend saw %d concurrent evaluations, capacity is 2", p)
+	}
+	st := f.Status()
+	if !st.Done {
+		t.Fatal("fleet status not done after Run returned")
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("fleet reports %d in-flight after completion", st.InFlight)
+	}
+	for _, ss := range st.Sessions {
+		if !ss.Done || ss.Completed != 6 || ss.Trials != 6 {
+			t.Fatalf("session %q status %+v, want done with 6/6 trials", ss.Name, ss)
+		}
+		if ss.Best <= 0 {
+			t.Fatalf("session %q status reports best %v", ss.Name, ss.Best)
+		}
+	}
+	if st.Best <= 0 || st.BestSession == "" {
+		t.Fatalf("fleet incumbent missing: %+v", st)
+	}
+}
+
+// TestFleetMatchesSequentialSessions pins that fleet scheduling does
+// not change any session's optimization trajectory: with each member
+// capped at one in-flight trial (sequential within the session) and a
+// deterministic backend, its records equal those of the same session
+// driven alone — the fleet interleaves sessions, never the per-session
+// ask/tell order.
+func TestFleetMatchesSequentialSessions(t *testing.T) {
+	tp := testTopo()
+	ev := testEval(tp)
+	want := make(map[string]TuneResult)
+	for i, name := range []string{"a", "b"} {
+		sess := NewSession(newTestBO(int64(i+1)), AsBackend(ev), SessionOptions{MaxSteps: 8})
+		res, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = res
+	}
+	members := fleetMembers(t, AsBackend(ev), 8, false, "a", "b")
+	for i := range members {
+		members[i].MaxInFlight = 1
+	}
+	f, err := NewFleet(FleetOptions{Slots: 3}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range want {
+		sameRecords(t, want[name].Records, got[name].Records)
+	}
+}
+
+// TestFleetCancellationLeavesTrialsPending cancels mid-run: Run
+// returns ctx.Err(), partial results are reported, and in-flight
+// trials stay pending in their sessions for a snapshot to carry.
+func TestFleetCancellationLeavesTrialsPending(t *testing.T) {
+	tp := testTopo()
+	ev := testEval(tp)
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	slow := BackendFunc(func(ctx context.Context, tr Trial) (storm.Result, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return storm.Result{}, ctx.Err()
+		}
+		return ev.Run(tr.Config, tr.RunIndex), nil
+	})
+	members := fleetMembers(t, slow, 50, false, "a", "b")
+	f, err := NewFleet(FleetOptions{Slots: 2}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var results map[string]TuneResult
+	var runErr error
+	go func() {
+		defer close(done)
+		results, runErr = f.Run(ctx)
+	}()
+	<-started
+	<-started
+	cancel()
+	<-done
+	if runErr != context.Canceled {
+		t.Fatalf("Run returned %v, want context.Canceled", runErr)
+	}
+	if len(results) != 2 {
+		t.Fatalf("got %d results, want partial summaries for both sessions", len(results))
+	}
+	pending := 0
+	for _, m := range f.Members() {
+		pending += len(m.Session.Pending())
+	}
+	if pending == 0 {
+		t.Fatal("cancelled fleet left no pending trials; in-flight work should stay pending")
+	}
+	close(release)
+}
+
+// BackendFunc adapts a function to Backend for tests.
+type BackendFunc func(ctx context.Context, tr Trial) (storm.Result, error)
+
+func (f BackendFunc) Run(ctx context.Context, tr Trial) (storm.Result, error) { return f(ctx, tr) }
+
+// TestFleetWeightedPriorityNoStarvation runs a weight-1 session next
+// to a weight-8 one over a single slot and checks the light session
+// still progresses throughout the run rather than only after the heavy
+// one finishes.
+func TestFleetWeightedPriorityNoStarvation(t *testing.T) {
+	tp := testTopo()
+	var order []string
+	var mu sync.Mutex
+	members := fleetMembers(t, AsBackend(testEval(tp)), 16, false, "light", "heavy")
+	members[0].Weight = 1
+	members[1].Weight = 8
+	// Observe report order through the sessions' observers.
+	for i := range members {
+		name := members[i].Name
+		members[i].Session.opts.Observer = ObserverFunc(func(e Event) {
+			if _, ok := e.(TrialCompleted); ok {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+			}
+		})
+	}
+	f, err := NewFleet(FleetOptions{Slots: 1}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 32 {
+		t.Fatalf("completed %d trials, want 32", len(order))
+	}
+	// The heavy session finishes its 16 trials first, but the light one
+	// must get slots interleaved: its first completion happens before
+	// the heavy session's 12th (a 1:8 split grants it every ~9th slot).
+	firstLight := -1
+	heavyBefore := 0
+	for i, n := range order {
+		if n == "light" {
+			firstLight = i
+			break
+		}
+		heavyBefore++
+	}
+	if firstLight < 0 {
+		t.Fatal("light session never completed a trial")
+	}
+	if heavyBefore > 11 {
+		t.Fatalf("light session starved: %d heavy completions before its first", heavyBefore)
+	}
+}
+
+// TestFleetValidation covers the constructor's error paths.
+func TestFleetValidation(t *testing.T) {
+	tp := testTopo()
+	bk := AsBackend(testEval(tp))
+	mk := func(name string) FleetMember {
+		return FleetMember{Name: name, Session: NewSession(newTestBO(1), bk, SessionOptions{MaxSteps: 2})}
+	}
+	cases := []struct {
+		name    string
+		members []FleetMember
+		wantErr string
+	}{
+		{"no members", nil, "at least one"},
+		{"empty name", []FleetMember{mk("")}, "no name"},
+		{"bad name", []FleetMember{mk("a/b")}, "URL segment"},
+		{"duplicate", []FleetMember{mk("x"), mk("x")}, "duplicate"},
+		{"nil session", []FleetMember{{Name: "x"}}, "no session"},
+		{"no backend", []FleetMember{{Name: "x", Session: NewSession(newTestBO(1), nil, SessionOptions{})}}, "no backend"},
+	}
+	for _, tc := range cases {
+		_, err := NewFleet(FleetOptions{Slots: 1}, tc.members...)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("%s: err %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+	// Run may be called once.
+	f, err := NewFleet(FleetOptions{Slots: 1}, mk("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Run(context.Background()); err == nil {
+		t.Fatal("second Run should error")
+	}
+}
+
+// TestFleetHammer is the -race stress test the ISSUE asks for:
+// sessions of very different lengths over a jittered shared backend —
+// slots released by early finishers are reused, the capacity cap
+// holds, and every session drains exactly once.
+func TestFleetHammer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hammer is slow; run without -short")
+	}
+	tp := testTopo()
+	inner := AsBackend(testEval(tp))
+	bk := &countingBackend{bk: inner, delay: 300 * time.Microsecond}
+	names := []string{"s1", "s2", "s3", "s4", "s5", "s6"}
+	members := make([]FleetMember, len(names))
+	for i, name := range names {
+		rec := NewRecorder()
+		sess := NewSession(newTestBO(int64(i+1)), bk, SessionOptions{
+			MaxSteps: 3 + i*3, // 3, 6, 9, 12, 15, 18 — finishing at very different times
+			Observer: rec,
+		})
+		members[i] = FleetMember{
+			Name: name, Session: sess, Recorder: rec,
+			Weight:      float64(1 + i%3),
+			MaxInFlight: 1 + i%2,
+		}
+	}
+	f, err := NewFleet(FleetOptions{Slots: 3}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	statusDone := make(chan struct{})
+	go func() {
+		// Hammer Status concurrently with the run (the dashboard does).
+		defer close(statusDone)
+		for {
+			st := f.Status()
+			if st.InFlight > st.Slots {
+				panic("fleet status reports in-flight above capacity")
+			}
+			if st.Done {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	results, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-statusDone
+	if p := bk.peak.Load(); p > 3 {
+		t.Fatalf("backend saw %d concurrent evaluations, capacity is 3", p)
+	}
+	wantTotal := 0
+	for i, name := range names {
+		want := 3 + i*3
+		wantTotal += want
+		if got := len(results[name].Records); got != want {
+			t.Fatalf("session %q completed %d trials, want %d", name, got, want)
+		}
+	}
+	if got := bk.runs.Load(); int(got) != wantTotal {
+		t.Fatalf("backend ran %d evaluations, want %d", got, wantTotal)
+	}
+}

@@ -478,6 +478,52 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 	return s
 }
 
+// RecorderStats are a Recorder's scalar counters — what a cross-session
+// aggregator needs, without the trial-view and curve copies Snapshot
+// makes.
+type RecorderStats struct {
+	// Trials counts every trial seen; Completed counts finished ones
+	// (failures included) and Failed the failures among them.
+	Trials    int
+	Completed int
+	Failed    int
+	// Retries is the total number of lost attempts that were retried.
+	Retries int
+	// Best and BestTrial identify the incumbent.
+	Best      float64
+	BestTrial int
+	// ElapsedMS is the wall-clock observed so far.
+	ElapsedMS int64
+	// Done reports that a driver finished.
+	Done bool
+}
+
+// Stats samples the scalar counters without copying the event history
+// or per-trial state — cheap enough for a fleet dashboard to poll per
+// member on every /api/fleet request.
+func (r *Recorder) Stats() RecorderStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RecorderStats{
+		Trials:    len(r.order),
+		Retries:   r.retries,
+		Best:      r.best,
+		BestTrial: r.bestID,
+		ElapsedMS: r.now().Sub(r.start).Milliseconds(),
+		Done:      r.done,
+	}
+	for _, tv := range r.trials {
+		switch tv.Status {
+		case StatusDone:
+			st.Completed++
+		case StatusFailed:
+			st.Completed++
+			st.Failed++
+		}
+	}
+	return st
+}
+
 // IncumbentTrace returns the (trial id, best throughput) pairs at which
 // the incumbent moved — the convergence trace in its most comparable
 // form (timestamps excluded, so a primed Recorder's trace can be

@@ -425,6 +425,89 @@ func (s *Session) RunBatch(ctx context.Context, q int) (TuneResult, error) {
 	}
 }
 
+// dispatchSource is the per-trial plumbing shared by the RunAsync
+// driver and the fleet scheduler: carried-over pending trials are
+// handed out first (re-emitting TrialStarted so observers primed from
+// a snapshot move them out of "pending"), fresh trials are proposed on
+// demand, evaluation goes through the session's retry loop, and
+// reporting captures the first error and stops issuing on
+// cancellation. The next/nextOne and report methods are called from a
+// single dispatch-loop goroutine; only run executes concurrently.
+type dispatchSource struct {
+	s     *Session
+	ctx   context.Context
+	carry []Trial
+	err   error
+}
+
+func (s *Session) newDispatch(ctx context.Context) *dispatchSource {
+	return &dispatchSource{s: s, ctx: ctx, carry: s.Pending()}
+}
+
+// dispatchOutcome is one evaluation's result; ok is false when the
+// evaluation was interrupted by cancellation (the trial stays pending).
+type dispatchOutcome struct {
+	res storm.Result
+	ok  bool
+}
+
+// nextOne hands out the session's next trial — next(1), unwrapped for
+// the fleet scheduler's one-grant-at-a-time shape; ok is false when
+// nothing further can be issued (budget spent, strategy exhausted,
+// stopping rule fired, or the context is done).
+func (d *dispatchSource) nextOne() (Trial, bool) {
+	out := d.next(1)
+	if len(out) == 0 {
+		return Trial{}, false
+	}
+	return out[0], true
+}
+
+// next hands out up to free trials — scheduler.Loop's source shape.
+func (d *dispatchSource) next(free int) []Trial {
+	var out []Trial
+	for free > 0 && len(d.carry) > 0 {
+		d.s.emit(TrialStarted{Trial: d.carry[0]})
+		out = append(out, d.carry[0])
+		d.carry = d.carry[1:]
+		free--
+	}
+	if free > 0 {
+		trials, err := d.s.Propose(d.ctx, free)
+		if err == nil {
+			out = append(out, trials...)
+		}
+	}
+	return out
+}
+
+// run evaluates one trial under the session's retry policy.
+func (d *dispatchSource) run(ctx context.Context, tr Trial) dispatchOutcome {
+	res, ok := d.s.evaluate(ctx, tr)
+	return dispatchOutcome{res: res, ok: ok}
+}
+
+// report feeds a completed evaluation back; returning false stops the
+// dispatch loop from issuing further trials to this session. A
+// cancelled evaluation leaves its trial pending for a snapshot to
+// carry; the loop surfaces ctx.Err().
+func (d *dispatchSource) report(tr Trial, o dispatchOutcome) bool {
+	if !o.ok {
+		return false
+	}
+	if err := d.s.Report(tr, o.res); err != nil {
+		if d.err == nil {
+			d.err = err
+		}
+		return false
+	}
+	return true
+}
+
+// firstErr returns the first report error, if any; call it after the
+// dispatch loop has returned.
+func (d *dispatchSource) firstErr() error { return d.err }
+
 // RunAsync drives the session with free-slot refill: up to q trials run
 // concurrently and the moment any one completes its result is reported
 // and a replacement proposed, so a slow trial never idles the other
@@ -438,49 +521,10 @@ func (s *Session) RunAsync(ctx context.Context, q int) (TuneResult, error) {
 	if q < 1 {
 		q = 1
 	}
-	carry := s.Pending()
-	next := func(free int) []Trial {
-		var out []Trial
-		for free > 0 && len(carry) > 0 {
-			s.emit(TrialStarted{Trial: carry[0]})
-			out = append(out, carry[0])
-			carry = carry[1:]
-			free--
-		}
-		if free > 0 {
-			trials, err := s.Propose(ctx, free)
-			if err == nil {
-				out = append(out, trials...)
-			}
-		}
-		return out
-	}
-	type outcome struct {
-		res storm.Result
-		ok  bool
-	}
-	run := func(ctx context.Context, tr Trial) outcome {
-		res, ok := s.evaluate(ctx, tr)
-		return outcome{res: res, ok: ok}
-	}
-	var reportErr error
-	report := func(tr Trial, o outcome) bool {
-		if !o.ok {
-			// Cancelled mid-evaluation: the trial stays pending and the
-			// loop stops issuing; ctx.Err() is surfaced by the loop.
-			return false
-		}
-		if err := s.Report(tr, o.res); err != nil {
-			if reportErr == nil {
-				reportErr = err
-			}
-			return false
-		}
-		return true
-	}
-	err := scheduler.Loop(ctx, q, next, run, report)
+	d := s.newDispatch(ctx)
+	err := scheduler.Loop(ctx, q, d.next, d.run, d.report)
 	if err == nil {
-		err = reportErr
+		err = d.firstErr()
 	}
 	return s.finish(err)
 }

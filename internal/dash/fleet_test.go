@@ -1,0 +1,308 @@
+package dash
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+)
+
+// seqStrategy proposes `n` fixed configurations with rising throughput
+// under the seqBackend below.
+type seqStrategy struct {
+	n, step int
+}
+
+func (s *seqStrategy) Name() string { return "seq" }
+func (s *seqStrategy) Next() (storm.Config, bool) {
+	if s.step >= s.n {
+		return storm.Config{}, false
+	}
+	s.step++
+	return storm.Config{Hints: []int{s.step}}, true
+}
+func (s *seqStrategy) Observe(storm.Config, storm.Result) {}
+func (s *seqStrategy) DecisionTime() time.Duration        { return 0 }
+
+// seqBackend reports throughput = 100 × hint.
+type seqBackend struct{}
+
+func (seqBackend) Run(_ context.Context, tr core.Trial) (storm.Result, error) {
+	return storm.Result{Throughput: float64(100 * tr.Config.Hints[0])}, nil
+}
+
+// testFleet builds (without running) a fleet of sessions with
+// recorders wired in.
+func testFleet(t *testing.T, slots int, steps ...int) *core.Fleet {
+	t.Helper()
+	members := make([]core.FleetMember, len(steps))
+	for i, n := range steps {
+		rec := core.NewRecorder()
+		sess := core.NewSession(&seqStrategy{n: n}, seqBackend{}, core.SessionOptions{
+			MaxSteps: n, Observer: rec,
+		})
+		members[i] = core.FleetMember{
+			Name: []string{"alpha", "beta", "gamma"}[i], Session: sess, Recorder: rec,
+			Weight: float64(i + 1),
+		}
+	}
+	f, err := core.NewFleet(core.FleetOptions{Slots: slots}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// TestFleetStateMatchesSessionStates is the consistency check the
+// ISSUE asks for: after a fleet run, every per-session entry in
+// /api/fleet agrees with that session's own /api/state — same trial
+// counts, same incumbent, both done.
+func TestFleetStateMatchesSessionStates(t *testing.T) {
+	f := testFleet(t, 2, 4, 6, 3)
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h := NewFleet(f, FleetOptions{
+		Title: "test fleet",
+		Info:  map[string]any{"mode": "test"},
+		PoolStats: func() []WorkerStats {
+			return []WorkerStats{{Worker: "w0", Completed: 13}}
+		},
+	})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var fs FleetState
+	getJSON(t, srv.URL+"/api/fleet", &fs)
+	if fs.Title != "test fleet" || fs.Slots != 2 || !fs.Done {
+		t.Fatalf("fleet state header wrong: %+v", fs)
+	}
+	if fs.InFlight != 0 {
+		t.Fatalf("finished fleet reports %d in flight", fs.InFlight)
+	}
+	if len(fs.Sessions) != 3 {
+		t.Fatalf("got %d sessions, want 3", len(fs.Sessions))
+	}
+	if len(fs.Workers) != 1 || fs.Workers[0].Worker != "w0" {
+		t.Fatalf("pool stats not surfaced: %+v", fs.Workers)
+	}
+	wantSteps := map[string]int{"alpha": 4, "beta": 6, "gamma": 3}
+	for _, ss := range fs.Sessions {
+		if ss.StateURL == "" || ss.EventsURL == "" || ss.URL == "" {
+			t.Fatalf("session %q missing drill-down URLs: %+v", ss.Name, ss)
+		}
+		var st State
+		getJSON(t, srv.URL+ss.StateURL, &st)
+		if st.Completed != ss.Completed || len(st.Trials) != ss.Trials {
+			t.Fatalf("session %q: fleet says %d/%d trials, state says %d/%d",
+				ss.Name, ss.Completed, ss.Trials, st.Completed, len(st.Trials))
+		}
+		if st.Best != ss.Best || st.BestTrial != ss.BestTrial {
+			t.Fatalf("session %q: fleet incumbent %v@%d, state %v@%d",
+				ss.Name, ss.Best, ss.BestTrial, st.Best, st.BestTrial)
+		}
+		if !st.Done || !ss.Done {
+			t.Fatalf("session %q: done flags disagree (fleet %v, state %v)", ss.Name, ss.Done, st.Done)
+		}
+		if want := wantSteps[ss.Name]; ss.Completed != want {
+			t.Fatalf("session %q completed %d, want %d", ss.Name, ss.Completed, want)
+		}
+		if ss.Best != float64(100*wantSteps[ss.Name]) {
+			t.Fatalf("session %q best %v, want %v", ss.Name, ss.Best, 100*wantSteps[ss.Name])
+		}
+		if st.Info["session"] != ss.Name {
+			t.Fatalf("session %q drill-down info: %+v", ss.Name, st.Info)
+		}
+	}
+	// The fleet incumbent is the max over sessions.
+	if fs.Best != 600 || fs.BestSession != "beta" {
+		t.Fatalf("fleet best %v (%s), want 600 (beta)", fs.Best, fs.BestSession)
+	}
+}
+
+// TestFleetSessionSSEReplay checks the per-session drill-down reuses
+// the SSE replay machinery: a late subscriber with ?after=N sees only
+// the later events and the terminal done handshake.
+func TestFleetSessionSSEReplay(t *testing.T) {
+	f := testFleet(t, 1, 3, 2)
+	if _, err := f.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewFleet(f, FleetOptions{}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/sessions/alpha/api/events?after=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("content type %q", ct)
+	}
+	var ids []string
+	var sawDone bool
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "id: ") {
+			ids = append(ids, strings.TrimPrefix(line, "id: "))
+		}
+		if line == "event: done" {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("stream did not finish with a done event")
+	}
+	if len(ids) == 0 || ids[0] != "3" {
+		t.Fatalf("replay after=2 started at ids %v, want first id 3", ids)
+	}
+}
+
+// TestFleetPageAndUnknownSession covers the index page and the 404 on
+// a session that does not exist.
+func TestFleetPageAndUnknownSession(t *testing.T) {
+	f := testFleet(t, 1, 2)
+	srv := httptest.NewServer(NewFleet(f, FleetOptions{}))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body[:n]), "api/fleet") {
+		t.Fatalf("fleet page: HTTP %d", resp.StatusCode)
+	}
+
+	// The drill-down page mounted under /sessions/{name}/ must reach
+	// its endpoints relative to that directory: any absolute "/api/..."
+	// reference would resolve to the fleet root, where those routes do
+	// not exist.
+	resp, err = http.Get(srv.URL + "/sessions/alpha/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("drill-down page: HTTP %d (%v)", resp.StatusCode, err)
+	}
+	for _, abs := range []string{`"/api/state"`, `"/api/events"`, `"/healthz"`} {
+		if strings.Contains(string(page), abs) {
+			t.Fatalf("drill-down page references absolute %s; it must use relative URLs to work under /sessions/{name}/", abs)
+		}
+	}
+	if !strings.Contains(string(page), `"api/state"`) {
+		t.Fatal("drill-down page does not reference api/state at all")
+	}
+
+	resp, err = http.Get(srv.URL + "/sessions/nope/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown session: HTTP %d, want 404", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// TestFleetStateLiveDuringRun polls /api/fleet while the fleet is
+// mid-run and checks the invariant the smoke test also probes: total
+// in-flight never exceeds the slot count, and per-session in-flight
+// counts sum to the fleet's.
+func TestFleetStateLiveDuringRun(t *testing.T) {
+	members := make([]core.FleetMember, 3)
+	release := make(chan struct{})
+	gate := make(chan struct{}, 16)
+	bk := blockingBackend{release: release, started: gate}
+	for i := range members {
+		rec := core.NewRecorder()
+		sess := core.NewSession(&seqStrategy{n: 4}, bk, core.SessionOptions{MaxSteps: 4, Observer: rec})
+		members[i] = core.FleetMember{
+			Name: []string{"a", "b", "c"}[i], Session: sess, Recorder: rec,
+		}
+	}
+	f, err := core.NewFleet(core.FleetOptions{Slots: 2}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewFleet(f, FleetOptions{}))
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		f.Run(context.Background())
+	}()
+	<-gate
+	<-gate
+	var fs FleetState
+	getJSON(t, srv.URL+"/api/fleet", &fs)
+	if fs.InFlight != 2 {
+		t.Fatalf("mid-run in-flight %d, want 2 (both slots held)", fs.InFlight)
+	}
+	sum := 0
+	for _, ss := range fs.Sessions {
+		sum += ss.InFlight
+	}
+	if sum != fs.InFlight {
+		t.Fatalf("per-session in-flight sums to %d, fleet reports %d", sum, fs.InFlight)
+	}
+	if fs.Done {
+		t.Fatal("fleet reports done mid-run")
+	}
+	close(release)
+	<-done
+}
+
+// blockingBackend blocks every Run until released, reporting each
+// start on the started channel.
+type blockingBackend struct {
+	release <-chan struct{}
+	started chan<- struct{}
+}
+
+func (b blockingBackend) Run(ctx context.Context, tr core.Trial) (storm.Result, error) {
+	b.started <- struct{}{}
+	select {
+	case <-b.release:
+	case <-ctx.Done():
+		return storm.Result{}, ctx.Err()
+	}
+	return storm.Result{Throughput: float64(100 * tr.Config.Hints[0])}, nil
+}

@@ -20,6 +20,9 @@ cleanup() {
 trap cleanup EXIT
 
 go build -o "$WORKDIR/stormtune" ./cmd/stormtune
+# The JSON assertions run through the probe helper (shared with
+# fleet-smoke.sh) so CI needs no runtime beyond the Go toolchain.
+go build -o "$WORKDIR/probe" ./scripts/probe
 
 # 120 steps keeps the GP big enough that the run lasts long past the
 # probes below (~10s locally); the SSE replay cursor means a late
@@ -42,15 +45,7 @@ echo "healthz: ok"
 
 # The state snapshot is valid JSON with the expected fields.
 curl -fs "http://$ADDR/api/state" >"$WORKDIR/state.json"
-python3 - "$WORKDIR/state.json" <<'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    st = json.load(f)
-for key in ("title", "trials", "incumbent", "events", "elapsedMs"):
-    assert key in st, f"/api/state missing {key!r}: {sorted(st)}"
-assert st["info"]["topology"].startswith("small"), st["info"]
-print(f"api/state: ok ({len(st['trials'])} trials seen, {st['events']} events)")
-EOF
+"$WORKDIR/probe" -mode state -file "$WORKDIR/state.json" -topology small
 
 # Follow the SSE stream from the beginning; the server hangs up on its
 # own once the run completes ("done" event), so curl terminates with

@@ -1,0 +1,178 @@
+// Command probe makes JSON assertions against dashboard documents in
+// the CI smoke scripts (scripts/dash-smoke.sh, scripts/fleet-smoke.sh),
+// so CI needs no runtime beyond the Go toolchain that builds the repo.
+//
+//	probe -mode state -file state.json [-topology PREFIX]
+//	probe -mode fleet -file fleet.json [-sessions N] [-slots N]
+//	      [-all-progressing] [-require-done]
+//
+// state mode checks a single-session /api/state document: the expected
+// fields are present and, with -topology, info.topology has the given
+// prefix.
+//
+// fleet mode checks an /api/fleet document: with -sessions, exactly
+// that many sessions; with -slots, the advertised capacity equals it;
+// always, the total and per-session in-flight counts never exceed the
+// shared capacity (the fleet's core invariant); with -all-progressing,
+// every session has at least one completed trial; with -require-done,
+// the fleet and every session report done.
+//
+// Exit status 0 means every assertion held; 1 means one failed (the
+// reason on stderr); 2 means bad usage or unreadable input.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "probe: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "probe: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func main() {
+	mode := flag.String("mode", "", "state or fleet")
+	file := flag.String("file", "", "path to the JSON document (required)")
+	topology := flag.String("topology", "", "state: require info.topology to have this prefix")
+	sessions := flag.Int("sessions", 0, "fleet: require exactly this many sessions")
+	slots := flag.Int("slots", 0, "fleet: require the advertised slot capacity to equal this")
+	allProgressing := flag.Bool("all-progressing", false, "fleet: require every session to have completed ≥ 1 trial")
+	requireDone := flag.Bool("require-done", false, "fleet: require the fleet and every session to be done")
+	flag.Parse()
+
+	if *file == "" {
+		usage("-file is required")
+	}
+	raw, err := os.ReadFile(*file)
+	if err != nil {
+		usage("%v", err)
+	}
+
+	switch *mode {
+	case "state":
+		probeState(raw, *topology)
+	case "fleet":
+		probeFleet(raw, *sessions, *slots, *allProgressing, *requireDone)
+	default:
+		usage("unknown -mode %q (want state or fleet)", *mode)
+	}
+}
+
+// probeState checks a single-session /api/state document.
+func probeState(raw []byte, topology string) {
+	var st map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &st); err != nil {
+		fail("/api/state is not a JSON object: %v", err)
+	}
+	for _, key := range []string{"title", "trials", "incumbent", "events", "elapsedMs"} {
+		if _, ok := st[key]; !ok {
+			keys := make([]string, 0, len(st))
+			for k := range st {
+				keys = append(keys, k)
+			}
+			fail("/api/state missing %q (has: %s)", key, strings.Join(keys, ", "))
+		}
+	}
+	var trials []json.RawMessage
+	if err := json.Unmarshal(st["trials"], &trials); err != nil {
+		fail("/api/state trials is not an array: %v", err)
+	}
+	var events int64
+	if err := json.Unmarshal(st["events"], &events); err != nil {
+		fail("/api/state events is not a number: %v", err)
+	}
+	if topology != "" {
+		var info struct {
+			Topology string `json:"topology"`
+		}
+		if err := json.Unmarshal(st["info"], &info); err != nil {
+			fail("/api/state info: %v", err)
+		}
+		if !strings.HasPrefix(info.Topology, topology) {
+			fail("info.topology = %q, want prefix %q", info.Topology, topology)
+		}
+	}
+	fmt.Printf("api/state: ok (%d trials seen, %d events)\n", len(trials), events)
+}
+
+// fleetDoc mirrors the /api/fleet document shape
+// (internal/dash.FleetState) without importing it: the probe asserts
+// the wire format a dashboard consumer actually sees.
+type fleetDoc struct {
+	Title    string `json:"title"`
+	Slots    int    `json:"slots"`
+	InFlight int    `json:"inFlight"`
+	Done     bool   `json:"done"`
+	Sessions []struct {
+		Name      string `json:"name"`
+		InFlight  int    `json:"inFlight"`
+		Done      bool   `json:"done"`
+		Trials    int    `json:"trials"`
+		Completed int    `json:"completed"`
+		StateURL  string `json:"stateUrl"`
+		EventsURL string `json:"eventsUrl"`
+	} `json:"sessions"`
+}
+
+// probeFleet checks an /api/fleet document.
+func probeFleet(raw []byte, sessions, slots int, allProgressing, requireDone bool) {
+	var fd fleetDoc
+	if err := json.Unmarshal(raw, &fd); err != nil {
+		fail("/api/fleet did not parse: %v", err)
+	}
+	if fd.Slots < 1 {
+		fail("/api/fleet advertises %d slots", fd.Slots)
+	}
+	if slots > 0 && fd.Slots != slots {
+		fail("/api/fleet advertises %d slots, want %d", fd.Slots, slots)
+	}
+	if sessions > 0 && len(fd.Sessions) != sessions {
+		fail("/api/fleet has %d sessions, want %d", len(fd.Sessions), sessions)
+	}
+	// The core invariant: in-flight trials never exceed the shared
+	// capacity, and the per-session counts sum to the fleet's.
+	if fd.InFlight > fd.Slots {
+		fail("%d trials in flight over %d slots: shared capacity exceeded", fd.InFlight, fd.Slots)
+	}
+	sum := 0
+	for _, s := range fd.Sessions {
+		if s.InFlight < 0 {
+			fail("session %q reports negative in-flight %d", s.Name, s.InFlight)
+		}
+		sum += s.InFlight
+	}
+	if sum != fd.InFlight {
+		fail("per-session in-flight sums to %d, fleet reports %d", sum, fd.InFlight)
+	}
+	if allProgressing {
+		for _, s := range fd.Sessions {
+			if s.Completed < 1 {
+				fail("session %q has no completed trials yet", s.Name)
+			}
+		}
+	}
+	if requireDone {
+		if !fd.Done {
+			fail("fleet not done")
+		}
+		for _, s := range fd.Sessions {
+			if !s.Done {
+				fail("session %q not done", s.Name)
+			}
+		}
+	}
+	var parts []string
+	for _, s := range fd.Sessions {
+		parts = append(parts, fmt.Sprintf("%s %d/%d", s.Name, s.Completed, s.Trials))
+	}
+	fmt.Printf("api/fleet: ok (%d/%d slots in use; %s)\n", fd.InFlight, fd.Slots, strings.Join(parts, ", "))
+}
