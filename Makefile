@@ -12,7 +12,7 @@ SHELL := /bin/bash
 GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|FleetSchedule)$$
 GATE_PERCENT = 0.30
 
-.PHONY: build test lint bench bench-baseline bench-gate dash-smoke fleet-smoke
+.PHONY: build test lint stormlint bench bench-baseline bench-gate dash-smoke fleet-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -20,13 +20,21 @@ build:
 test:
 	go test -short -race ./...
 
-# staticcheck honors the committed staticcheck.conf. Install with:
+# The single lint entry point: formatting, go vet, staticcheck and the
+# repo's own stormlint analyzer suite (internal/lint — determinism and
+# concurrency contracts; see README "Static analysis"). staticcheck
+# honors the committed staticcheck.conf. Install it with:
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
 lint:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 	  echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
 	go vet ./...
 	staticcheck ./...
+	go run ./cmd/stormlint ./...
+
+# stormlint alone — fast enough to run on every save.
+stormlint:
+	go run ./cmd/stormlint ./...
 
 bench:
 	go test -run '^$$' -bench . -benchtime 1x ./...

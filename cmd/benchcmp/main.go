@@ -130,10 +130,17 @@ func main() {
 		}
 		fmt.Printf("  %s %-44s %12.0f → %12.0f ns/op  (%+.1f%%)\n", verdict, n, b, c, delta*100)
 	}
+	// Sorted so two runs of the gate print new benchmarks in the same
+	// order (stormlint: maporder).
+	newNames := make([]string, 0, len(cur))
 	for n := range cur {
 		if _, ok := base[n]; !ok {
-			fmt.Printf("  new  %-44s %12.0f ns/op (not gated; refresh the baseline to gate it)\n", n, cur[n])
+			newNames = append(newNames, n)
 		}
+	}
+	sort.Strings(newNames)
+	for _, n := range newNames {
+		fmt.Printf("  new  %-44s %12.0f ns/op (not gated; refresh the baseline to gate it)\n", n, cur[n])
 	}
 	if failed {
 		fmt.Println("benchcmp: regression gate FAILED — investigate, or refresh BENCH_baseline.json if the change is intentional (make bench-baseline)")

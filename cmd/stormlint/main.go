@@ -1,0 +1,189 @@
+// Command stormlint is the multichecker for this module's custom
+// static analyzers: the determinism and concurrency contracts the
+// tuner's snapshot/resume, retry and fleet-parity guarantees depend
+// on, encoded as mechanical checks (see internal/lint).
+//
+// Usage:
+//
+//	stormlint [flags] [packages]
+//
+// with the usual go package patterns (default ./...). Exit status is
+// 0 when clean, 1 when any diagnostic is reported, 2 on usage or
+// load errors.
+//
+// Flags:
+//
+//	-json         emit diagnostics as a JSON array instead of text
+//	-list         print the analyzers and their scopes, then exit
+//	-enable  csv  run only these analyzers
+//	-disable csv  skip these analyzers
+//	-all          ignore the default per-analyzer package scopes and
+//	              run every analyzer on every package
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"stormtune/internal/lint"
+	"stormtune/internal/lint/analysis"
+	"stormtune/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonDiagnostic is the -json output row.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("stormlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut  = fs.Bool("json", false, "emit diagnostics as JSON")
+		list     = fs.Bool("list", false, "list analyzers and exit")
+		enable   = fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+		disable  = fs.String("disable", "", "comma-separated analyzers to skip")
+		unscoped = fs.Bool("all", false, "ignore default package scopes; run everything everywhere")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, "stormlint:", err)
+		return 2
+	}
+	if *list {
+		printList(stdout, analyzers)
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(".", patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "stormlint:", err)
+		return 2
+	}
+
+	scope := lint.DefaultScope
+	if *unscoped {
+		scope = nil
+	}
+	var diags []analysis.Diagnostic
+	for _, p := range pkgs {
+		var active []*analysis.Analyzer
+		for _, a := range analyzers {
+			if lint.InScope(scope, a, p.Path) {
+				active = append(active, a)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		ds, err := analysis.Run(p.Target, active)
+		if err != nil {
+			fmt.Fprintln(stderr, "stormlint:", err)
+			return 2
+		}
+		diags = append(diags, ds...)
+	}
+
+	if *jsonOut {
+		rows := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			rows = append(rows, jsonDiagnostic{
+				File: d.Pos.Filename, Line: d.Pos.Line, Column: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintln(stderr, "stormlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(stdout, "%s: %s (%s)\n", d.Pos, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func selectAnalyzers(enable, disable string) ([]*analysis.Analyzer, error) {
+	all := lint.Analyzers()
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, name := range strings.Split(csv, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	on, err := parse(enable)
+	if err != nil {
+		return nil, err
+	}
+	off, err := parse(disable)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if on != nil && !on[a.Name] {
+			continue
+		}
+		if off[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return out, nil
+}
+
+func printList(w io.Writer, analyzers []*analysis.Analyzer) {
+	for _, a := range analyzers {
+		fmt.Fprintf(w, "%-12s %s\n", a.Name, a.Doc)
+		if scope := lint.DefaultScope[a.Name]; len(scope) > 0 {
+			fmt.Fprintf(w, "%-12s   scope: %s\n", "", strings.Join(scope, ", "))
+		} else {
+			fmt.Fprintf(w, "%-12s   scope: whole module\n", "")
+		}
+		fmt.Fprintf(w, "%-12s   suppress: //lint:%s <why>\n", "", a.DirectiveToken())
+	}
+}

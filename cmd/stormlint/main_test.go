@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestViolationFailsTheRun drives the real CLI path (go list → parse →
+// type-check → analyze) against the committed bad fixture and checks
+// the exit status contract: violations mean exit 1.
+func TestViolationFailsTheRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list and the source importer; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"./testdata/src/bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run on a violating package = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "maporder") || !strings.Contains(out.String(), "emitnolock") {
+		t.Fatalf("expected maporder and emitnolock findings, got:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list and the source importer; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "./testdata/src/bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var rows []jsonDiagnostic
+	if err := json.Unmarshal(out.Bytes(), &rows); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(rows) == 0 {
+		t.Fatal("-json reported no diagnostics for the bad fixture")
+	}
+	for _, r := range rows {
+		if r.File == "" || r.Line == 0 || r.Analyzer == "" || r.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", r)
+		}
+	}
+}
+
+// TestEnableDisable checks per-analyzer selection: disabling the two
+// analyzers the fixture violates makes the run clean.
+func TestEnableDisable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list and the source importer; skipped in -short")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-disable", "maporder,emitnolock", "./testdata/src/bad"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("run with violating analyzers disabled = %d, want 0\n%s%s", code, out.String(), errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-enable", "maporder", "./testdata/src/bad"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("run -enable maporder = %d, want 1", code)
+	}
+	if strings.Contains(out.String(), "emitnolock") {
+		t.Fatalf("-enable maporder still ran emitnolock:\n%s", out.String())
+	}
+}
+
+func TestUnknownAnalyzerIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-enable", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer = exit %d, want 2", code)
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list = %d, want 0", code)
+	}
+	for _, name := range []string{"norawrand", "nowallclock", "maporder", "emitnolock", "ctxflow"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}

@@ -1,0 +1,30 @@
+// Package bad is a deliberately violating fixture for the stormlint
+// CLI tests: a map range feeding an order-sensitive sink and an
+// observer dispatch under a held mutex. It lives under testdata so
+// ./... patterns (build, vet, the repo-wide stormlint run) never see
+// it; the CLI tests list it explicitly.
+package bad
+
+import "sync"
+
+// Event is a minimal observer event.
+type Event struct{ Name string }
+
+// Observer is a minimal observer.
+type Observer interface{ OnEvent(Event) }
+
+// Holder locks around dispatch — the emitnolock violation.
+type Holder struct {
+	mu  sync.Mutex
+	obs Observer
+}
+
+// Bad dispatches with the lock held and fans a map out to the
+// observer in iteration order — both contract violations.
+func (h *Holder) Bad(m map[string]int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for k := range m {
+		h.obs.OnEvent(Event{Name: k})
+	}
+}

@@ -216,6 +216,20 @@
 // scored by a worker pool (Options.Workers); results are bit-identical
 // for any worker count and fixed seed.
 //
+// # Determinism contracts
+//
+// The guarantees above — bit-identical results for a fixed seed and
+// any worker count, and snapshot/resume runs indistinguishable from
+// uninterrupted ones — depend on invariants that are easy to erode:
+// no global or wall-clock-seeded RNGs in the proposal path, no
+// wall-clock reads in decision logic, no map-iteration order leaking
+// into emitted output, no observer dispatch under a held lock, and
+// contexts threaded through parameters rather than stored. These are
+// enforced mechanically by the repo's own analyzer suite
+// (internal/lint, run as `go run ./cmd/stormlint ./...` by `make
+// lint` and CI); intentional exceptions carry //lint: directives with
+// their justification. See README "Static analysis".
+//
 // See the examples directory for runnable programs (examples/quickstart
 // for the session API, examples/resume for snapshot/resume) and
 // DESIGN.md for the mapping between paper artifacts and modules.

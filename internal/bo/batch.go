@@ -63,7 +63,9 @@ func (l LiarStrategy) value(ys []float64) float64 {
 // order) to retire its fantasy. The result is deterministic for a fixed
 // seed and any Workers count.
 func (opt *Optimizer) SuggestBatch(q int) [][]float64 {
+	//lint:wallclock telemetry: decision-time accounting, never a proposal input
 	start := time.Now()
+	//lint:wallclock telemetry: decision-time accounting, never a proposal input
 	defer func() { opt.LastStepDuration = time.Since(start) }()
 	if q <= 0 {
 		return nil

@@ -156,7 +156,9 @@ func (opt *Optimizer) Best() (u []float64, y float64, ok bool) {
 // the GP surrogate is fitted and the acquisition maximized over a
 // candidate grid plus local search.
 func (opt *Optimizer) Suggest() []float64 {
+	//lint:wallclock telemetry: decision-time accounting, never a proposal input
 	start := time.Now()
+	//lint:wallclock telemetry: decision-time accounting, never a proposal input
 	defer func() { opt.LastStepDuration = time.Since(start) }()
 	return opt.suggestOne()
 }

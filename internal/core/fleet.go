@@ -273,7 +273,7 @@ func (f *Fleet) Run(ctx context.Context) (map[string]TuneResult, error) {
 	for i := range f.members {
 		i := i
 		m := f.members[i]
-		d := m.Session.newDispatch(ctx)
+		d := m.Session.newDispatch()
 		dispatches[i] = d
 		sources[i] = scheduler.SharedSource[Trial, dispatchOutcome]{
 			Weight: m.Weight,

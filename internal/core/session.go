@@ -119,6 +119,9 @@ func (s *Session) emit(evs ...Event) {
 	s.obsMu.Lock()
 	defer s.obsMu.Unlock()
 	for _, e := range evs {
+		//lint:emitnolock obsMu is the dedicated dispatch-serialization lock; it is never
+		// taken while the state lock (mu) is held, so a callback re-entering the session
+		// cannot deadlock — this is the one place the emit contract is implemented.
 		s.opts.Observer.OnEvent(e)
 	}
 }
@@ -435,13 +438,12 @@ func (s *Session) RunBatch(ctx context.Context, q int) (TuneResult, error) {
 // single dispatch-loop goroutine; only run executes concurrently.
 type dispatchSource struct {
 	s     *Session
-	ctx   context.Context
 	carry []Trial
 	err   error
 }
 
-func (s *Session) newDispatch(ctx context.Context) *dispatchSource {
-	return &dispatchSource{s: s, ctx: ctx, carry: s.Pending()}
+func (s *Session) newDispatch() *dispatchSource {
+	return &dispatchSource{s: s, carry: s.Pending()}
 }
 
 // dispatchOutcome is one evaluation's result; ok is false when the
@@ -455,8 +457,8 @@ type dispatchOutcome struct {
 // the fleet scheduler's one-grant-at-a-time shape; ok is false when
 // nothing further can be issued (budget spent, strategy exhausted,
 // stopping rule fired, or the context is done).
-func (d *dispatchSource) nextOne() (Trial, bool) {
-	out := d.next(1)
+func (d *dispatchSource) nextOne(ctx context.Context) (Trial, bool) {
+	out := d.next(ctx, 1)
 	if len(out) == 0 {
 		return Trial{}, false
 	}
@@ -464,7 +466,9 @@ func (d *dispatchSource) nextOne() (Trial, bool) {
 }
 
 // next hands out up to free trials — scheduler.Loop's source shape.
-func (d *dispatchSource) next(free int) []Trial {
+// ctx is the dispatch loop's context, forwarded per call rather than
+// stored so proposal work always observes the driver's cancellation.
+func (d *dispatchSource) next(ctx context.Context, free int) []Trial {
 	var out []Trial
 	for free > 0 && len(d.carry) > 0 {
 		d.s.emit(TrialStarted{Trial: d.carry[0]})
@@ -473,7 +477,7 @@ func (d *dispatchSource) next(free int) []Trial {
 		free--
 	}
 	if free > 0 {
-		trials, err := d.s.Propose(d.ctx, free)
+		trials, err := d.s.Propose(ctx, free)
 		if err == nil {
 			out = append(out, trials...)
 		}
@@ -521,7 +525,7 @@ func (s *Session) RunAsync(ctx context.Context, q int) (TuneResult, error) {
 	if q < 1 {
 		q = 1
 	}
-	d := s.newDispatch(ctx)
+	d := s.newDispatch()
 	err := scheduler.Loop(ctx, q, d.next, d.run, d.report)
 	if err == nil {
 		err = d.firstErr()

@@ -1,0 +1,204 @@
+// Package analysis is a self-contained miniature of the
+// golang.org/x/tools/go/analysis framework: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// The repo builds hermetically with no module downloads, so the real
+// x/tools framework is not available; this package keeps the same
+// shape (Analyzer / Pass / Reportf / want-comment fixtures via
+// linttest) so the stormlint analyzers could be ported to
+// golang.org/x/tools/go/analysis mechanically if the dependency ever
+// lands.
+//
+// One deliberate extension: line-scoped suppression directives. A
+// comment of the form
+//
+//	//lint:<directive> <justification>
+//
+// on the offending line, or alone on the line above it, suppresses
+// that analyzer's diagnostics for the line. Each analyzer names its
+// directive (default: the analyzer name); nowallclock, for example,
+// uses //lint:wallclock. A justification is required by convention —
+// the directive marks a reviewed, intentional exception to a
+// determinism or concurrency contract, and the reviewer of the next
+// change needs to know why it is safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in output, flags and fixtures.
+	Name string
+	// Doc is a short description: first line is a summary, the rest
+	// explains the contract the analyzer enforces.
+	Doc string
+	// Directive overrides the //lint:<token> suppression token for
+	// this analyzer; empty means Name.
+	Directive string
+	// Run inspects the package via pass and reports diagnostics.
+	Run func(pass *Pass) error
+}
+
+// DirectiveToken returns the //lint: token that suppresses this
+// analyzer's diagnostics.
+func (a *Analyzer) DirectiveToken() string {
+	if a.Directive != "" {
+		return a.Directive
+	}
+	return a.Name
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s (%s)", d.Pos, d.Message, d.Analyzer)
+}
+
+// Pass carries one package's syntax and type information to an
+// Analyzer's Run, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos. Suppression directives are
+// applied by the runner, not here.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Preorder walks every file's AST in source order, calling fn for each
+// node; fn returning false prunes that subtree.
+func (p *Pass) Preorder(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Target is one loaded, type-checked package — the runner's input.
+type Target struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Run applies the analyzers to one package and returns the surviving
+// diagnostics (suppression directives applied), sorted by position.
+// Analyzer errors are returned after the diagnostics collected so far.
+func Run(t Target, analyzers []*Analyzer) ([]Diagnostic, error) {
+	dirs := collectDirectives(t.Fset, t.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		tok := a.DirectiveToken()
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     t.Fset,
+			Files:    t.Files,
+			Pkg:      t.Pkg,
+			Info:     t.Info,
+			report: func(d Diagnostic) {
+				if dirs.suppresses(tok, d.Pos) {
+					return
+				}
+				out = append(out, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// directiveIndex maps file → line → set of directive tokens present on
+// that line.
+type directiveIndex map[string]map[int]map[string]bool
+
+const directivePrefix = "//lint:"
+
+func collectDirectives(fset *token.FileSet, files []*ast.File) directiveIndex {
+	idx := directiveIndex{}
+	add := func(file string, line int, tok string) {
+		byLine := idx[file]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			idx[file] = byLine
+		}
+		toks := byLine[line]
+		if toks == nil {
+			toks = map[string]bool{}
+			byLine[line] = toks
+		}
+		toks[tok] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				tok, _, _ := strings.Cut(rest, " ")
+				tok = strings.TrimSpace(tok)
+				if tok == "" {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, tok)
+				// A directive whose justification continues over the
+				// following comment lines still covers the statement
+				// after the group.
+				if end := fset.Position(cg.End()); end.Line > pos.Line {
+					add(end.Filename, end.Line, tok)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// suppresses reports whether a directive for tok covers pos: same
+// line (trailing comment) or the line directly above (own-line
+// comment).
+func (idx directiveIndex) suppresses(tok string, pos token.Position) bool {
+	byLine := idx[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	return byLine[pos.Line][tok] || byLine[pos.Line-1][tok]
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CalleeFunc resolves the *types.Func a call invokes: package-level
+// functions (possibly package-qualified) and methods (including
+// promoted methods of embedded fields, via Selections). Returns nil
+// for builtins, conversions, and calls of function-typed values.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// No selection entry: a package-qualified call like time.Now.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether f is the package-level function
+// pkgPath.name (not a method).
+func IsPkgFunc(f *types.Func, pkgPath, name string) bool {
+	if f == nil || f.Pkg() == nil {
+		return false
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	return f.Pkg().Path() == pkgPath && f.Name() == name
+}
+
+// IsBuiltin reports whether the call invokes the named builtin
+// (append, len, ...).
+func IsBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// NamedFrom reports whether t (or the pointee, if t is a pointer) is
+// the named type pkgPath.name.
+func NamedFrom(t types.Type, pkgPath, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}

@@ -1,0 +1,124 @@
+// Package ctxflow enforces the codebase's context discipline.
+//
+// Cancellation is the only way the tuner's drivers, remote backends
+// and the fleet scheduler shut down cleanly; it works only if every
+// blocking call receives the caller's context. Three rules make that
+// mechanical:
+//
+//  1. context.Context is never stored in a struct field — a stored
+//     context outlives its cancellation scope and silently detaches
+//     everything below it (the standard library's own guidance).
+//  2. A function that already has a context parameter never calls
+//     context.Background() or context.TODO() — that severs the
+//     caller's cancellation mid-chain. Deliberate detachment (e.g. a
+//     shutdown grace period that must outlive the cancelled request
+//     context) is allowlisted with //lint:ctxflow <why>.
+//  3. An exported function that takes a context takes it as its first
+//     parameter, so call sites read uniformly.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stormtune/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "context.Context must flow through parameters: no struct fields, " +
+		"no context.Background()/TODO() where a caller context exists, ctx first",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			checkStructFields(pass, n)
+		case *ast.FuncDecl:
+			checkFunc(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+func isCtxType(t types.Type) bool {
+	return analysis.NamedFrom(t, "context", "Context")
+}
+
+func checkStructFields(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		tv, ok := pass.Info.Types[field.Type]
+		if !ok || !isCtxType(tv.Type) {
+			continue
+		}
+		name := "embedded context.Context"
+		if len(field.Names) > 0 {
+			name = "field " + field.Names[0].Name
+		}
+		pass.Reportf(field.Pos(),
+			"%s stores a context.Context in a struct; contexts must be passed "+
+				"per call so cancellation follows the caller", name)
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ctxParams := contextParams(pass, fn.Type)
+	if len(ctxParams) == 0 {
+		return
+	}
+	if fn.Name.IsExported() && ctxParams[0] != 0 {
+		pass.Reportf(fn.Type.Params.List[0].Pos(),
+			"exported %s takes context.Context as parameter %d; context should be the first parameter",
+			fn.Name.Name, ctxParams[0]+1)
+	}
+	if fn.Body == nil {
+		return
+	}
+	// A context parameter is in scope for the whole body, including
+	// closures: fresh Background()/TODO() anywhere inside discards it.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.Info, call)
+		if f == nil {
+			return true
+		}
+		if analysis.IsPkgFunc(f, "context", "Background") || analysis.IsPkgFunc(f, "context", "TODO") {
+			pass.Reportf(call.Pos(),
+				"context.%s() inside a function that receives a context; forward the "+
+					"caller's context, or annotate //lint:ctxflow <why this must detach>",
+				f.Name())
+		}
+		return true
+	})
+}
+
+// contextParams returns the flattened positions of context.Context
+// parameters in the signature.
+func contextParams(pass *analysis.Pass, ft *ast.FuncType) []int {
+	var out []int
+	pos := 0
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		tv, ok := pass.Info.Types[field.Type]
+		if ok && isCtxType(tv.Type) {
+			for i := 0; i < n; i++ {
+				out = append(out, pos+i)
+			}
+		}
+		pos += n
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"stormtune/internal/lint/ctxflow"
+	"stormtune/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", ctxflow.Analyzer)
+}

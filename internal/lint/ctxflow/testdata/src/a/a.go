@@ -1,0 +1,81 @@
+// Package a exercises ctxflow: stored contexts, severed context
+// chains and misplaced ctx parameters are flagged; plain forwarding
+// and root-level Background() are not.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+type badHolder struct {
+	ctx context.Context // want "stores a context.Context in a struct"
+	n   int
+}
+
+type badEmbed struct {
+	context.Context // want "stores a context.Context in a struct"
+}
+
+type goodHolder struct {
+	n int
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+
+// Run forwards its context — the contract.
+func Run(ctx context.Context, h *goodHolder) error {
+	return work(ctx)
+}
+
+// BadSever receives a context but detaches its callee from it.
+func BadSever(ctx context.Context) error {
+	return work(context.Background()) // want "context.Background\\(\\) inside a function that receives a context"
+}
+
+// BadTODO is the same severing with TODO.
+func BadTODO(ctx context.Context) error {
+	return work(context.TODO()) // want "context.TODO\\(\\) inside a function that receives a context"
+}
+
+// BadClosure severs inside a closure that had ctx in scope.
+func BadClosure(ctx context.Context) func() error {
+	return func() error {
+		return work(context.Background()) // want "context.Background\\(\\) inside a function that receives a context"
+	}
+}
+
+// AllowedDetach is the sanctioned escape: a shutdown grace period
+// must outlive the already-cancelled caller context.
+func AllowedDetach(ctx context.Context) error {
+	<-ctx.Done()
+	//lint:ctxflow shutdown grace must outlive the cancelled request context
+	grace, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return work(grace)
+}
+
+// BadOrder puts ctx after another parameter on an exported function.
+func BadOrder(n int, ctx context.Context) error { // want "context should be the first parameter"
+	return work(ctx)
+}
+
+// goodRoot has no caller context — Background() at the root of a call
+// tree (main, tests, servers) is exactly what Background is for.
+func goodRoot() error {
+	return work(context.Background())
+}
+
+// goodUnexportedOrder: parameter order is only enforced on exported
+// functions.
+func goodUnexportedOrder(n int, ctx context.Context) error {
+	return work(ctx)
+}
+
+// GoodDerive derives from the caller's context — forwarding, not
+// severing.
+func GoodDerive(ctx context.Context) error {
+	sub, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return work(sub)
+}

@@ -1,0 +1,282 @@
+// Package emitnolock enforces the "dispatch outside the state lock"
+// contract.
+//
+// Observer callbacks are arbitrary user code: one that re-enters the
+// session (Snapshot from inside OnEvent, a dashboard poll, a fleet
+// sibling reacting to NewBest) deadlocks instantly if the event was
+// emitted while the state mutex was held. internal/core/session.go
+// documents the contract; this analyzer makes it mechanical: no call
+// to an event-dispatch method (OnEvent / Emit / emit) may occur while
+// a sync.Mutex or sync.RWMutex acquired in the same function is still
+// held.
+//
+// The analysis is a conservative, block-structured approximation: it
+// walks each function's statements in order tracking how many locks
+// are held, treats `defer mu.Unlock()` as holding until return, and
+// merges branches pessimistically (a lock held on any path is treated
+// as held after the join). A dispatch that is genuinely safe under a
+// dedicated serialization lock — the session's obsMu pattern — is
+// allowlisted with //lint:emitnolock <why>.
+package emitnolock
+
+import (
+	"go/ast"
+
+	"stormtune/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "emitnolock",
+	Doc: "forbid observer dispatch (OnEvent/Emit/emit) while a sync mutex " +
+		"acquired in the same function is held",
+	Run: run,
+}
+
+// EmitNames are the dispatch entry points the contract covers.
+var EmitNames = map[string]bool{
+	"OnEvent": true,
+	"Emit":    true,
+	"emit":    true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				w := &walker{pass: pass}
+				w.block(fn.Body.List, &lockState{})
+			}
+		case *ast.FuncLit:
+			// Literals are walked as functions in their own right when
+			// encountered here; the statement walker does not descend
+			// into them, so each body is analyzed exactly once.
+			w := &walker{pass: pass}
+			w.block(fn.Body.List, &lockState{})
+		}
+		return true
+	})
+	return nil
+}
+
+// lockState is the walker's approximation of how many mutexes the
+// current statement runs under. held counts paired Lock/Unlock
+// acquisitions; deferred counts `defer mu.Unlock()` registrations,
+// which keep their lock held for the rest of the function.
+type lockState struct {
+	held     int
+	deferred int
+}
+
+func (s *lockState) locked() bool { return s.held+s.deferred > 0 }
+
+func (s *lockState) clone() *lockState { c := *s; return &c }
+
+// merge folds a non-terminating branch back into the parent,
+// pessimistically: a lock held on either path is held after the join.
+func (s *lockState) merge(branch *lockState) {
+	if branch.held > s.held {
+		s.held = branch.held
+	}
+	if branch.deferred > s.deferred {
+		s.deferred = branch.deferred
+	}
+}
+
+type walker struct {
+	pass *analysis.Pass
+}
+
+// block walks statements in order, mutating st.
+func (w *walker) block(stmts []ast.Stmt, st *lockState) {
+	for _, s := range stmts {
+		w.stmt(s, st)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, st *lockState) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch {
+			case w.isLock(call):
+				st.held++
+				return
+			case w.isUnlock(call):
+				if st.held > 0 {
+					st.held--
+				}
+				return
+			}
+		}
+		w.scan(s.X, st)
+	case *ast.DeferStmt:
+		if w.isUnlock(s.Call) {
+			// The lock stays held until return; move one acquisition
+			// into the deferred bucket so a later paired Unlock of a
+			// different mutex is not miscounted against it.
+			if st.held > 0 {
+				st.held--
+			}
+			st.deferred++
+			return
+		}
+		// Other defers run at return, outside this walk's lock model;
+		// their argument expressions are still evaluated here.
+		for _, arg := range s.Call.Args {
+			w.scan(arg, st)
+		}
+	case *ast.GoStmt:
+		// The goroutine does not inherit the caller's locks. Its body
+		// (a FuncLit) is analyzed separately by run.
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scan(e, st)
+		}
+		for _, e := range s.Lhs {
+			w.scan(e, st)
+		}
+	case *ast.DeclStmt:
+		w.scan(s, st)
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scan(e, st)
+		}
+	case *ast.BlockStmt:
+		w.block(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		w.scan(s.Cond, st)
+		w.branch(s.Body.List, st)
+		if s.Else != nil {
+			w.branch([]ast.Stmt{s.Else}, st)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, st)
+		}
+		w.branch(s.Body.List, st)
+	case *ast.RangeStmt:
+		w.scan(s.X, st)
+		w.branch(s.Body.List, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body, st)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, st)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.branch(cc.Body, st)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.branch(cc.Body, st)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, st)
+	default:
+		if s != nil {
+			w.scan(s, st)
+		}
+	}
+}
+
+// branch walks a conditional block with a cloned state. A branch that
+// cannot fall through (it ends in return/panic/break/continue/goto)
+// leaves the parent state untouched — the early-unlock-and-return
+// idiom; one that falls through merges pessimistically.
+func (w *walker) branch(stmts []ast.Stmt, st *lockState) {
+	child := st.clone()
+	w.block(stmts, child)
+	if !terminates(stmts) {
+		st.merge(child)
+	}
+}
+
+// scan looks for dispatch calls and lock operations inside an
+// arbitrary expression or declaration subtree, skipping nested
+// function literals (they are analyzed on their own and do not run
+// under this function's locks unless called — which the ExprStmt
+// handling above would see as a call expression).
+func (w *walker) scan(n ast.Node, st *lockState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			switch {
+			case w.isLock(n):
+				st.held++
+			case w.isUnlock(n):
+				if st.held > 0 {
+					st.held--
+				}
+			case st.locked():
+				if f := analysis.CalleeFunc(w.pass.Info, n); f != nil && EmitNames[f.Name()] {
+					w.pass.Reportf(n.Pos(),
+						"%s called while a sync mutex is held; dispatch observer callbacks "+
+							"after releasing the lock (see the session emit contract), "+
+							"or annotate //lint:emitnolock <why this lock is emit-safe>",
+						f.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) isLock(call *ast.CallExpr) bool {
+	return w.syncMethod(call, "Lock") || w.syncMethod(call, "RLock")
+}
+
+func (w *walker) isUnlock(call *ast.CallExpr) bool {
+	return w.syncMethod(call, "Unlock") || w.syncMethod(call, "RUnlock")
+}
+
+// syncMethod reports whether the call invokes sync.(*Mutex)/(*RWMutex)
+// method name, including promoted methods of embedded mutexes.
+func (w *walker) syncMethod(call *ast.CallExpr, name string) bool {
+	f := analysis.CalleeFunc(w.pass.Info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync" && f.Name() == name
+}
+
+// terminates reports whether a statement list cannot fall through to
+// the statement after its enclosing block.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package emitnolock_test
+
+import (
+	"testing"
+
+	"stormtune/internal/lint/emitnolock"
+	"stormtune/internal/lint/linttest"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", emitnolock.Analyzer)
+}

@@ -1,0 +1,131 @@
+// Package a exercises emitnolock: observer dispatch under a held
+// mutex is flagged; the unlock-then-emit idiom, early-out branches
+// and goroutines are not.
+package a
+
+import "sync"
+
+// Event mimics the tuner's event type.
+type Event struct{ Name string }
+
+// Observer mimics core.Observer.
+type Observer interface{ OnEvent(Event) }
+
+// Session mimics core.Session's locking structure.
+type Session struct {
+	mu    sync.Mutex
+	obsMu sync.Mutex
+	obs   Observer
+	n     int
+}
+
+func (s *Session) emit(e Event) {
+	if s.obs == nil {
+		return
+	}
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	//lint:emitnolock obsMu is the dedicated dispatch-serialization lock, never taken with state held
+	s.obs.OnEvent(e)
+}
+
+func (s *Session) badDeferred(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	s.obs.OnEvent(e) // want "OnEvent called while a sync mutex is held"
+}
+
+func (s *Session) badPaired(e Event) {
+	s.mu.Lock()
+	s.emit(e) // want "emit called while a sync mutex is held"
+	s.mu.Unlock()
+}
+
+func (s *Session) badInBranch(e Event) {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.obs.OnEvent(e) // want "OnEvent called while a sync mutex is held"
+	}
+	s.mu.Unlock()
+}
+
+// badAfterBranchUnlock: one path released the lock, the other did
+// not; the pessimistic join still counts the lock as held.
+func (s *Session) badAfterBranchUnlock(e Event) {
+	s.mu.Lock()
+	if s.n > 0 {
+		s.mu.Unlock()
+	}
+	s.emit(e) // want "emit called while a sync mutex is held"
+}
+
+func (s *Session) goodUnlockThenEmit(e Event) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.emit(e)
+}
+
+// goodEarlyOut mirrors Session.Report: early-out branches unlock and
+// return, and the emit happens after the main path's unlock.
+func (s *Session) goodEarlyOut(e Event) {
+	s.mu.Lock()
+	if s.n < 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.n++
+	s.mu.Unlock()
+	s.emit(e)
+}
+
+// goodRWLock: read locks count too — but this one is released first.
+type Guarded struct {
+	rw  sync.RWMutex
+	obs Observer
+}
+
+func (g *Guarded) goodReadPath(e Event) {
+	g.rw.RLock()
+	n := 1
+	g.rw.RUnlock()
+	_ = n
+	g.obs.OnEvent(e)
+}
+
+func (g *Guarded) badReadPath(e Event) {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	g.obs.OnEvent(e) // want "OnEvent called while a sync mutex is held"
+}
+
+// goodGoroutine: the spawned goroutine does not hold the caller's
+// lock at dispatch time (it synchronizes on its own).
+func (s *Session) goodGoroutine(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.emit(e)
+	}()
+}
+
+// goodEmbedded exercises promoted methods of an embedded mutex.
+type Embedded struct {
+	sync.Mutex
+	obs Observer
+}
+
+func (m *Embedded) badPromoted(e Event) {
+	m.Lock()
+	defer m.Unlock()
+	m.obs.OnEvent(e) // want "OnEvent called while a sync mutex is held"
+}
+
+func (m *Embedded) goodPromoted(e Event) {
+	m.Lock()
+	n := 1
+	m.Unlock()
+	_ = n
+	m.obs.OnEvent(e)
+}

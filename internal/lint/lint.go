@@ -1,0 +1,87 @@
+// Package lint assembles the stormlint analyzer suite: which
+// analyzers exist, and which parts of the module each one binds.
+//
+// Every load-bearing guarantee of this reproduction — bit-identical
+// snapshot/resume of the ask/tell log, same-RunIndex retry recovery,
+// fleet sequential parity — rests on invariants no compiler checks:
+// randomness flows from an explicitly seeded *rand.Rand, no wall
+// clock or map-iteration order leaks into decision paths, observer
+// callbacks fire outside locks, contexts flow through parameters.
+// The analyzers here make those invariants machine-checked so the
+// upcoming GP hot-path refactor and session-archive work cannot
+// silently break them. cmd/stormlint is the command-line driver;
+// `make lint` and CI run it over ./... and fail on any finding.
+package lint
+
+import (
+	"strings"
+
+	"stormtune/internal/lint/analysis"
+	"stormtune/internal/lint/ctxflow"
+	"stormtune/internal/lint/emitnolock"
+	"stormtune/internal/lint/maporder"
+	"stormtune/internal/lint/norawrand"
+	"stormtune/internal/lint/nowallclock"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		norawrand.Analyzer,
+		nowallclock.Analyzer,
+		maporder.Analyzer,
+		emitnolock.Analyzer,
+		ctxflow.Analyzer,
+	}
+}
+
+// DefaultScope maps analyzer name to the import paths it applies to:
+// an entry is an exact package path, or a subtree when suffixed with
+// "/...". An absent entry (or nil slice) means the whole module.
+//
+// The scopes mirror where each contract binds: randomness and wall
+// clocks are decision-path concerns (proposal, fitting, sampling,
+// simulation), context discipline binds the blocking plumbing, and
+// map-order/emit-under-lock are module-wide correctness rules.
+var DefaultScope = map[string][]string{
+	"norawrand": {
+		"stormtune/internal/bo/...",
+		"stormtune/internal/gp/...",
+		"stormtune/internal/sample/...",
+		"stormtune/internal/des/...",
+		"stormtune/internal/storm/...",
+	},
+	"nowallclock": {
+		"stormtune/internal/bo/...",
+		"stormtune/internal/gp/...",
+		"stormtune/internal/linalg/...",
+		"stormtune/internal/sample/...",
+		"stormtune/internal/scheduler/...",
+	},
+	"ctxflow": {
+		"stormtune", // the public API package, exactly
+		"stormtune/internal/core/...",
+		"stormtune/internal/remote/...",
+		"stormtune/internal/scheduler/...",
+	},
+	// maporder and emitnolock apply module-wide.
+}
+
+// InScope reports whether analyzer a applies to the package at
+// import path pkgPath under scope (typically DefaultScope).
+func InScope(scope map[string][]string, a *analysis.Analyzer, pkgPath string) bool {
+	prefixes, ok := scope[a.Name]
+	if !ok || len(prefixes) == 0 {
+		return true
+	}
+	for _, p := range prefixes {
+		if sub, ok := strings.CutSuffix(p, "/..."); ok {
+			if pkgPath == sub || strings.HasPrefix(pkgPath, sub+"/") {
+				return true
+			}
+		} else if pkgPath == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package lint_test
+
+import (
+	"testing"
+
+	"stormtune/internal/lint"
+	"stormtune/internal/lint/analysis"
+	"stormtune/internal/lint/load"
+)
+
+func TestInScope(t *testing.T) {
+	scope := map[string][]string{
+		"ctxflow":    {"stormtune", "stormtune/internal/core/..."},
+		"norawrand":  {"stormtune/internal/bo/..."},
+		"everywhere": nil,
+		"emptyIsAll": {},
+	}
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		// Exact entries match only themselves: the root package entry
+		// must not leak onto the rest of the module.
+		{"ctxflow", "stormtune", true},
+		{"ctxflow", "stormtune/internal/dash", false},
+		{"ctxflow", "stormtune/internal/core", true},
+		{"ctxflow", "stormtune/internal/core/sub", true},
+		{"norawrand", "stormtune/internal/bo", true},
+		{"norawrand", "stormtune/internal/bogus", false},
+		{"norawrand", "stormtune/internal/gp", false},
+		// Absent or empty scope means the whole module.
+		{"maporder", "stormtune/anything", true},
+		{"everywhere", "stormtune/internal/dash", true},
+		{"emptyIsAll", "stormtune/internal/dash", true},
+	}
+	for _, c := range cases {
+		a := &analysis.Analyzer{Name: c.analyzer}
+		if got := lint.InScope(scope, a, c.pkg); got != c.want {
+			t.Errorf("InScope(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestSuiteHasFiveAnalyzers(t *testing.T) {
+	as := lint.Analyzers()
+	if len(as) < 5 {
+		t.Fatalf("suite has %d analyzers, want at least 5", len(as))
+	}
+	seen := map[string]bool{}
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, name := range []string{"norawrand", "nowallclock", "maporder", "emitnolock", "ctxflow"} {
+		if !seen[name] {
+			t.Errorf("suite is missing analyzer %q", name)
+		}
+	}
+	for name := range lint.DefaultScope {
+		if !seen[name] {
+			t.Errorf("DefaultScope names unknown analyzer %q", name)
+		}
+	}
+}
+
+// TestRepoIsClean is the smoke test CI relies on: the full suite over
+// the whole module, with the default scopes, must report nothing —
+// every known-good exception carries its //lint: directive.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := load.Packages("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern ./... from the module root should find many more", len(pkgs))
+	}
+	for _, p := range pkgs {
+		var active []*analysis.Analyzer
+		for _, a := range lint.Analyzers() {
+			if lint.InScope(lint.DefaultScope, a, p.Path) {
+				active = append(active, a)
+			}
+		}
+		diags, err := analysis.Run(p.Target, active)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

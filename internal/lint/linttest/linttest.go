@@ -1,0 +1,166 @@
+// Package linttest runs a stormlint analyzer over a fixture package
+// and checks its diagnostics against expectations embedded in the
+// fixture source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Expectations are comments of the form
+//
+//	x := rand.Int() // want "global generator"
+//
+// where each double-quoted string after "want" is a regular
+// expression that must match the message of exactly one diagnostic
+// reported on that line. Diagnostics with no matching want, and wants
+// with no matching diagnostic, fail the test.
+//
+// Fixtures live under testdata/src/<name> and must type-check against
+// the standard library only — they are parsed and checked directly,
+// outside the module, so they cannot import stormtune packages.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"stormtune/internal/lint/analysis"
+)
+
+// Run analyzes the fixture package in dir (e.g. "testdata/src/a")
+// with a and reports any mismatch between its diagnostics and the
+// fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	diags, wants := analyze(t, dir, a)
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		if !claim(wants, matched, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", posOf(d), d.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// analyze loads the fixture and returns the analyzer's diagnostics
+// alongside the fixture's wants.
+func analyze(t *testing.T, dir string, a *analysis.Analyzer) ([]analysis.Diagnostic, []want) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		ws, err := collectWants(fset, f)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", path, err)
+		}
+		wants = append(wants, ws...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("fixture/"+filepath.Base(dir), fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	target := analysis.Target{Fset: fset, Files: files, Pkg: pkg, Info: info}
+	diags, err := analysis.Run(target, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	sort.SliceStable(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	return diags, wants
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// wantComment matches the want marker and captures the quoted
+// patterns that follow it.
+var (
+	wantComment = regexp.MustCompile(`^//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+	wantPattern = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+func collectWants(fset *token.FileSet, f *ast.File) ([]want, error) {
+	var out []want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantComment.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			for _, q := range wantPattern.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad want pattern %s: %w", pos.Line, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: bad want regexp %q: %w", pos.Line, pat, err)
+				}
+				out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out, nil
+}
+
+// claim matches d against the first unclaimed want on its line.
+func claim(wants []want, matched []bool, d analysis.Diagnostic) bool {
+	for i, w := range wants {
+		if matched[i] || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			matched[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+func posOf(d analysis.Diagnostic) string {
+	return fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)
+}

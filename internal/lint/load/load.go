@@ -1,0 +1,126 @@
+// Package load turns `go list` package patterns into type-checked
+// analysis.Targets using only the standard library: the go command
+// expands patterns and enumerates files, go/parser parses them, and
+// go/types checks them with the source importer (which type-checks
+// dependencies — stdlib and module-local alike — from source, so no
+// export data or network is needed).
+//
+// Only non-test files are loaded: the determinism and concurrency
+// contracts stormlint enforces bind production code, while tests
+// legitimately use wall clocks, global rand and ad-hoc goroutines.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+
+	"stormtune/internal/lint/analysis"
+)
+
+// Package is one loaded package: its import path plus the
+// type-checked syntax handed to analyzers.
+type Package struct {
+	Path string
+	analysis.Target
+}
+
+// listEntry is the subset of `go list -json` output the loader needs.
+type listEntry struct {
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+}
+
+// Packages expands patterns (e.g. "./...") relative to dir and loads
+// each matched package. The returned packages are in go list order
+// (deterministic: lexical by import path within a pattern).
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	entries, err := list(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	// One source importer for the whole run: it caches every package it
+	// type-checks, so shared dependencies are checked once.
+	imp := importer.ForCompiler(fset, "source", nil)
+	var out []*Package
+	for _, e := range entries {
+		p, err := check(fset, imp, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+func list(dir string, patterns []string) ([]listEntry, error) {
+	args := append([]string{"list", "-json=Dir,ImportPath,GoFiles", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("go list: %w", err)
+	}
+	dec := json.NewDecoder(outPipe)
+	var entries []listEntry
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %v: %w\n%s", patterns, err, stderr.String())
+	}
+	return entries, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, e listEntry) (*Package, error) {
+	var files []*ast.File
+	for _, name := range e.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(e.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(e.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", e.ImportPath, err)
+	}
+	return &Package{
+		Path: e.ImportPath,
+		Target: analysis.Target{
+			Fset:  fset,
+			Files: files,
+			Pkg:   pkg,
+			Info:  info,
+		},
+	}, nil
+}

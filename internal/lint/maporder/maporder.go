@@ -1,0 +1,193 @@
+// Package maporder flags map iteration feeding order-sensitive sinks.
+//
+// Go randomizes map iteration order on purpose; any `range` over a
+// map whose body appends to an outer slice, emits events, writes to a
+// stream/encoder or feeds a hash produces a different sequence on
+// every run. That is precisely the class of bug that breaks the
+// tuner's bit-identical snapshot/resume and fleet sequential-parity
+// guarantees — an op log or fingerprint built in map order never
+// replays. The fix is always the same: collect the keys, sort them,
+// range over the sorted slice.
+//
+// Commutative bodies (scalar accumulation, writes into another map,
+// per-iteration locals) are not flagged. A genuinely order-free sink
+// can be allowlisted with //lint:maporder <why>.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"stormtune/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map bodies that append, emit events, write to " +
+		"streams/hashes or send on channels; sort the keys first",
+	Run: run,
+}
+
+// sinkNames are callee names whose argument order is observable:
+// event dispatch, stream/encoder writes, hashing.
+var sinkNames = map[string]bool{
+	"OnEvent":     true,
+	"Emit":        true,
+	"emit":        true,
+	"Record":      true,
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Fprint":      true,
+	"Fprintf":     true,
+	"Fprintln":    true,
+	"Print":       true,
+	"Printf":      true,
+	"Println":     true,
+	"Encode":      true,
+	"Sum":         true,
+	"Push":        true,
+	"Enqueue":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if sink, ok := orderSensitiveSink(pass, rng); ok {
+			pass.Reportf(rng.Pos(),
+				"iteration over map %s feeds an order-sensitive sink (%s); "+
+					"range over sorted keys instead, or annotate //lint:maporder <why order cannot matter>",
+				exprString(rng.X), sink)
+		}
+		return true
+	})
+	return nil
+}
+
+// orderSensitiveSink scans the loop body for the first construct whose
+// effect depends on iteration order.
+func orderSensitiveSink(pass *analysis.Pass, rng *ast.RangeStmt) (string, bool) {
+	sink := ""
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A literal defined here is not necessarily run here.
+			return false
+		case *ast.SendStmt:
+			sink = "channel send"
+			return false
+		case *ast.CallExpr:
+			if analysis.IsBuiltin(pass.Info, n, "append") {
+				if obj, outer := appendTarget(pass, rng, n); outer && !sortedAfter(pass, obj, rng.End()) {
+					sink = "append to a slice declared outside the loop"
+					return false
+				}
+			}
+			if f := analysis.CalleeFunc(pass.Info, n); f != nil && sinkNames[f.Name()] {
+				sink = "call to " + f.Name()
+				return false
+			}
+		}
+		return true
+	})
+	return sink, sink != ""
+}
+
+// appendTarget resolves the append's destination and reports whether
+// it lives outside the range statement: appending to a per-iteration
+// local accumulates nothing across iterations and is order-free.
+func appendTarget(pass *analysis.Pass, rng *ast.RangeStmt, call *ast.CallExpr) (types.Object, bool) {
+	if len(call.Args) == 0 {
+		return nil, true
+	}
+	base := ast.Unparen(call.Args[0])
+	switch base.(type) {
+	case *ast.CompositeLit, *ast.CallExpr:
+		// A freshly built slice ([]T{...}, []T(nil), make(...)) is a
+		// per-iteration value, not an accumulator.
+		return nil, false
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		// Field/index targets (s.events, out[i]) necessarily outlive
+		// the iteration.
+		return nil, true
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return nil, true
+	}
+	return obj, obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+}
+
+// sortFuncs maps package path to the sorting functions whose first
+// argument is the slice being ordered.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Strings": true, "Ints": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedAfter reports whether obj — the slice a map range appends to —
+// is passed to a sort function after the loop. Collect-then-sort is
+// the canonical fix for map-order bugs and must not be flagged;
+// anything subtler than a direct sort call (sorting behind a helper,
+// sorting before a later use) still needs the //lint:maporder
+// directive.
+func sortedAfter(pass *analysis.Pass, obj types.Object, after token.Pos) bool {
+	if obj == nil {
+		return false
+	}
+	sorted := false
+	pass.Preorder(func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < after || len(call.Args) == 0 {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || !sortFuncs[f.Pkg().Path()][f.Name()] {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			sorted = true
+			return false
+		}
+		return true
+	})
+	return sorted
+}
+
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}

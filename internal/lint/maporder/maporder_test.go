@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"stormtune/internal/lint/linttest"
+	"stormtune/internal/lint/maporder"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", maporder.Analyzer)
+}

@@ -1,0 +1,113 @@
+// Package a exercises maporder: map ranges feeding order-sensitive
+// sinks are flagged; commutative bodies and sorted-key iteration are
+// not.
+package a
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+)
+
+// Event mimics the tuner's observer plumbing.
+type Event struct{ Name string }
+
+// Observer mimics core.Observer.
+type Observer interface{ OnEvent(Event) }
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "append to a slice declared outside the loop"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func badEmit(m map[string]int, o Observer) {
+	for k := range m { // want "call to OnEvent"
+		o.OnEvent(Event{Name: k})
+	}
+}
+
+func badHash(m map[string]int) uint64 {
+	h := fnv.New64a()
+	for k, v := range m { // want "call to Fprintf"
+		fmt.Fprintf(h, "%s=%d;", k, v)
+	}
+	return h.Sum64()
+}
+
+func badWrite(m map[string]int, w io.Writer) {
+	for k := range m { // want "call to Write"
+		w.Write([]byte(k))
+	}
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+// goodSortedKeys is the canonical fix — collect, sort, then consume —
+// and must pass without any directive.
+func goodSortedKeys(m map[string]int, o Observer) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys { // slice range: not map iteration
+		o.OnEvent(Event{Name: k})
+	}
+}
+
+// allowedEmit shows the escape hatch: the directive on the line above
+// the range suppresses the finding.
+func allowedEmit(m map[string]int, o Observer) {
+	//lint:maporder receiver counts events and ignores their order
+	for k := range m {
+		o.OnEvent(Event{Name: k})
+	}
+}
+
+func goodCommutative(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func goodMapToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func goodLocalAppend(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := append([]int(nil), vs...)
+		n += len(local)
+	}
+	return n
+}
+
+func goodFuncLit(m map[string]int) []func() string {
+	// The literal captures k but is not called during iteration; the
+	// analyzer must not descend into it.
+	var fns []func() string
+	for k := range m { // want "append to a slice declared outside the loop"
+		k := k
+		fns = append(fns, func() string {
+			var parts []string
+			parts = append(parts, k)
+			return parts[0]
+		})
+	}
+	return fns
+}

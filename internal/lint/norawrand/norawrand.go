@@ -1,0 +1,103 @@
+// Package norawrand forbids ambient randomness in the tuner's
+// decision paths.
+//
+// Snapshot/resume replays the ask/tell log and expects bit-identical
+// proposals, and fleet runs assert sequential parity — both break the
+// moment any random draw comes from somewhere other than the
+// session's seeded *rand.Rand. The analyzer flags (a) calls to
+// math/rand's (and math/rand/v2's) package-level functions, which use
+// the shared global generator, and (b) rand.New/rand.NewSource seeded
+// from the wall clock. Constructing a generator from an explicit seed
+// (rand.New(rand.NewSource(cfg.Seed))) is allowed: that is exactly
+// the pattern the contract demands.
+package norawrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"stormtune/internal/lint/analysis"
+)
+
+// Analyzer implements the check.
+var Analyzer = &analysis.Analyzer{
+	Name: "norawrand",
+	Doc: "forbid math/rand global functions and wall-clock seeding; " +
+		"randomness must flow through an injected, explicitly seeded *rand.Rand",
+	Run: run,
+}
+
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// constructors build generators from an explicit seed and are the
+// sanctioned way to obtain randomness.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // rand/v2
+	"NewChaCha8": true, // rand/v2
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || !randPkgs[f.Pkg().Path()] {
+			return true
+		}
+		if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true // methods of *rand.Rand etc. are the sanctioned path
+		}
+		if !constructors[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s uses the process-global generator; thread a seeded *rand.Rand through instead",
+				f.Pkg().Path(), f.Name())
+			return true
+		}
+		if from, ok := wallClockArg(pass.Info, call); ok {
+			pass.Reportf(call.Pos(),
+				"%s.%s seeded from the wall clock (time.%s); derive seeds from configuration so runs are reproducible",
+				f.Pkg().Path(), f.Name(), from)
+		}
+		return true
+	})
+	return nil
+}
+
+// wallClockArg reports whether any argument of the constructor call
+// derives from a time-package function (time.Now().UnixNano() and
+// friends), returning the offending function name.
+func wallClockArg(info *types.Info, call *ast.CallExpr) (string, bool) {
+	name := ""
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.CalleeFunc(info, inner)
+			if f == nil || f.Pkg() == nil {
+				return true
+			}
+			if randPkgs[f.Pkg().Path()] && constructors[f.Name()] {
+				return false // nested constructor: reported on its own
+			}
+			if f.Pkg().Path() == "time" {
+				name = f.Name()
+				return false
+			}
+			return true
+		})
+		if name != "" {
+			return name, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,12 @@
+package norawrand_test
+
+import (
+	"testing"
+
+	"stormtune/internal/lint/linttest"
+	"stormtune/internal/lint/norawrand"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", norawrand.Analyzer)
+}

@@ -1,0 +1,39 @@
+// Package a exercises norawrand: global math/rand functions and
+// wall-clock seeding are flagged; explicitly seeded generators pass.
+package a
+
+import (
+	"math/rand"
+	mrand "math/rand"
+	"time"
+)
+
+// Seed stands in for a configuration-provided seed.
+var Seed int64 = 42
+
+func bad() {
+	_ = rand.Int()                                      // want "global generator"
+	_ = rand.Float64()                                  // want "global generator"
+	_ = rand.Intn(10)                                   // want "global generator"
+	rand.Shuffle(3, func(i, j int) {})                  // want "global generator"
+	_ = rand.Perm(5)                                    // want "global generator"
+	_ = mrand.Int63()                                   // want "global generator"
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeded from the wall clock"
+	_ = rand.NewSource(int64(time.Now().Nanosecond()))  // want "seeded from the wall clock"
+}
+
+func good() *rand.Rand {
+	rng := rand.New(rand.NewSource(Seed))
+	_ = rng.Int()
+	_ = rng.Float64()
+	rng.Shuffle(3, func(i, j int) {})
+	src := rand.NewSource(7)
+	_ = rand.New(src)
+	return rng
+}
+
+// goodDerived derives a child seed from an injected generator — the
+// pattern batch proposers use — and must not be flagged.
+func goodDerived(rng *rand.Rand) *rand.Rand {
+	return rand.New(rand.NewSource(rng.Int63()))
+}

@@ -1,0 +1,57 @@
+// Package nowallclock forbids wall-clock reads in deterministic
+// decision paths.
+//
+// BO scoring, GP fits and scheduler allocation must compute the same
+// result for the same inputs on every run and on every resume — a
+// time.Now() feeding a decision (a tie-break, a budget, an iteration
+// cutoff) silently couples the proposal sequence to the machine's
+// load. Legitimate wall-clock use in these packages is telemetry
+// (e.g. populating a LastStepDuration field for the dashboard); mark
+// those lines with an allowlist directive:
+//
+//	start := time.Now() //lint:wallclock telemetry only, not a decision input
+//
+// The justification text is part of the contract: it tells the next
+// reader why the read cannot alter proposals.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"stormtune/internal/lint/analysis"
+)
+
+// Analyzer implements the check. Its suppression directive is
+// //lint:wallclock.
+var Analyzer = &analysis.Analyzer{
+	Name:      "nowallclock",
+	Directive: "wallclock",
+	Doc: "forbid time.Now/Since/Until in deterministic decision paths; " +
+		"allowlist telemetry with //lint:wallclock <why>",
+	Run: run,
+}
+
+var clockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Preorder(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.Info, call)
+		if f == nil || f.Pkg() == nil || f.Pkg().Path() != "time" || !clockFuncs[f.Name()] {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"wall-clock read time.%s in a deterministic decision path; "+
+				"if this is telemetry, annotate the line with //lint:wallclock <why>",
+			f.Name())
+		return true
+	})
+	return nil
+}

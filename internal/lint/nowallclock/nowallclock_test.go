@@ -1,0 +1,12 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"stormtune/internal/lint/linttest"
+	"stormtune/internal/lint/nowallclock"
+)
+
+func TestFixtures(t *testing.T) {
+	linttest.Run(t, "testdata/src/a", nowallclock.Analyzer)
+}

@@ -1,0 +1,41 @@
+// Package a exercises nowallclock: bare wall-clock reads are flagged;
+// the //lint:wallclock directive allowlists telemetry, both as a
+// trailing comment and on the line above.
+package a
+
+import "time"
+
+// Step mimics an optimizer step whose duration is telemetry.
+type Step struct {
+	LastStepDuration time.Duration
+}
+
+func bad() time.Duration {
+	start := time.Now()      // want "wall-clock read time.Now"
+	_ = time.Until(start)    // want "wall-clock read time.Until"
+	return time.Since(start) // want "wall-clock read time.Since"
+}
+
+func allowedTrailing(s *Step) {
+	start := time.Now() //lint:wallclock telemetry: feeds LastStepDuration, never a decision
+	defer func() {
+		s.LastStepDuration = time.Since(start) //lint:wallclock telemetry
+	}()
+}
+
+func allowedAbove() time.Time {
+	//lint:wallclock timestamping a report, not a decision input
+	return time.Now()
+}
+
+// otherDirective does not allowlist this analyzer, so the read is
+// still flagged.
+func otherDirective() time.Time {
+	//lint:maporder wrong directive for this analyzer
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+func goodNoClock() time.Duration {
+	d := 5 * time.Millisecond
+	return d * 2
+}

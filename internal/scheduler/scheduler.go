@@ -13,20 +13,22 @@ package scheduler
 import "context"
 
 // Loop runs the dispatch loop until the job source dries up, done asks
-// to stop, or ctx is cancelled. next(free) must return at most free
-// jobs (it is called with the full slot count first, then with the
-// number of slots just vacated); returning none means no work is
+// to stop, or ctx is cancelled. next(ctx, free) must return at most
+// free jobs (it is called with the full slot count first, then with
+// the number of slots just vacated); returning none means no work is
 // currently available — the loop asks again after the next completion
-// and exits once nothing is in flight. run evaluates one job (called
-// concurrently, one goroutine per in-flight job). done is called
-// serially in completion order; returning false stops the loop from
-// issuing further jobs.
+// and exits once nothing is in flight. The loop forwards its own ctx
+// to next so proposal work (which can be expensive) observes
+// cancellation without the source having to capture a context. run
+// evaluates one job (called concurrently, one goroutine per in-flight
+// job). done is called serially in completion order; returning false
+// stops the loop from issuing further jobs.
 //
 // On cancellation or stop the loop does not abandon in-flight jobs: it
 // keeps collecting (and reporting via done) every result already paid
 // for, then returns ctx.Err().
 func Loop[J, R any](ctx context.Context, slots int,
-	next func(free int) []J,
+	next func(ctx context.Context, free int) []J,
 	run func(context.Context, J) R,
 	done func(J, R) bool,
 ) error {
@@ -49,7 +51,7 @@ func Loop[J, R any](ctx context.Context, slots int,
 	}
 	stopped := ctx.Err() != nil
 	if !stopped {
-		launch(next(slots))
+		launch(next(ctx, slots))
 	}
 	for inflight > 0 {
 		c := <-ch
@@ -58,7 +60,7 @@ func Loop[J, R any](ctx context.Context, slots int,
 			stopped = true
 		}
 		if !stopped {
-			launch(next(slots - inflight))
+			launch(next(ctx, slots-inflight))
 		}
 	}
 	return ctx.Err()

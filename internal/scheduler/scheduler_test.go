@@ -14,7 +14,7 @@ import (
 func TestLoopRunsEveryJobOnce(t *testing.T) {
 	const n, slots = 20, 3
 	issued := 0
-	next := func(free int) []int {
+	next := func(_ context.Context, free int) []int {
 		var out []int
 		for free > 0 && issued < n {
 			issued++
@@ -63,7 +63,7 @@ func TestLoopRunsEveryJobOnce(t *testing.T) {
 func TestLoopRefillsFreedSlot(t *testing.T) {
 	durations := []time.Duration{50 * time.Millisecond, 1, 1, 1, 1, 1}
 	issued := 0
-	next := func(free int) []int {
+	next := func(_ context.Context, free int) []int {
 		var out []int
 		for free > 0 && issued < len(durations) {
 			out = append(out, issued)
@@ -104,7 +104,7 @@ func TestLoopRefillsFreedSlot(t *testing.T) {
 // still drains in-flight jobs.
 func TestLoopStopsWhenDoneSaysSo(t *testing.T) {
 	issued := 0
-	next := func(free int) []int {
+	next := func(_ context.Context, free int) []int {
 		var out []int
 		for ; free > 0; free-- {
 			issued++
@@ -135,7 +135,7 @@ func TestLoopStopsWhenDoneSaysSo(t *testing.T) {
 func TestLoopHonorsCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	issued := 0
-	next := func(free int) []int {
+	next := func(_ context.Context, free int) []int {
 		var out []int
 		for ; free > 0; free-- {
 			issued++
@@ -175,7 +175,7 @@ func TestLoopPreCancelled(t *testing.T) {
 	cancel()
 	ran := false
 	err := Loop(ctx, 2,
-		func(int) []int { ran = true; return []int{1} },
+		func(context.Context, int) []int { ran = true; return []int{1} },
 		func(_ context.Context, j int) int { ran = true; return j },
 		func(int, int) bool { ran = true; return true })
 	if !errors.Is(err, context.Canceled) {

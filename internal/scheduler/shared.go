@@ -74,8 +74,10 @@ type SharedSource[J, R any] struct {
 	// concurrent trials sets Max=k so the fleet never oversubscribes it.
 	Max int
 	// Next returns the source's next job; ok=false means the source is
-	// exhausted and will not be asked again.
-	Next func() (job J, ok bool)
+	// exhausted and will not be asked again. The loop forwards its own
+	// ctx so proposal work observes cancellation without the source
+	// having to capture a context.
+	Next func(ctx context.Context) (job J, ok bool)
 	// Run evaluates one job; one goroutine per in-flight job.
 	Run func(context.Context, J) R
 	// Done is called serially, in completion order across all sources;
@@ -157,7 +159,7 @@ func Shared[J, R any](ctx context.Context, slots int, sources []SharedSource[J, 
 			if i < 0 {
 				return
 			}
-			job, ok := sources[i].Next()
+			job, ok := sources[i].Next(ctx)
 			if !ok {
 				alive[i] = false
 				if inflight[i] == 0 {

@@ -36,7 +36,7 @@ func counterSource(jobs int, peak *trackPeak, grants *[]int, idx int,
 	return SharedSource[int, int]{
 		Weight: weight,
 		Max:    max,
-		Next: func() (int, bool) {
+		Next: func(context.Context) (int, bool) {
 			if issued >= jobs {
 				return 0, false
 			}
@@ -88,7 +88,7 @@ func TestSharedHonorsPerSourceMax(t *testing.T) {
 		issued := 0
 		return SharedSource[int, int]{
 			Max: max,
-			Next: func() (int, bool) {
+			Next: func(context.Context) (int, bool) {
 				if issued >= 10 {
 					return 0, false
 				}
@@ -128,7 +128,7 @@ func TestSharedReleasesSlotsAcrossSources(t *testing.T) {
 
 	shortIssued, longIssued := 0, 0
 	short := SharedSource[int, int]{
-		Next: func() (int, bool) {
+		Next: func(context.Context) (int, bool) {
 			if shortIssued >= 2 {
 				return 0, false
 			}
@@ -143,7 +143,7 @@ func TestSharedReleasesSlotsAcrossSources(t *testing.T) {
 		Drained: func() { shortDone.Store(true) },
 	}
 	long := SharedSource[int, int]{
-		Next: func() (int, bool) {
+		Next: func(context.Context) (int, bool) {
 			if longIssued >= 60 {
 				return 0, false
 			}
@@ -264,7 +264,7 @@ func TestSharedCancellationCollectsInFlight(t *testing.T) {
 		i := i
 		issued := 0
 		sources[i] = SharedSource[int, int]{
-			Next: func() (int, bool) {
+			Next: func(context.Context) (int, bool) {
 				if issued >= 100 {
 					return 0, false
 				}
@@ -306,7 +306,7 @@ func TestSharedDoneFalseStopsOneSource(t *testing.T) {
 	var aDrained atomic.Bool
 	aIssued, bIssued := 0, 0
 	a := SharedSource[int, int]{
-		Next: func() (int, bool) {
+		Next: func(context.Context) (int, bool) {
 			if aIssued >= 50 {
 				return 0, false
 			}
@@ -320,7 +320,7 @@ func TestSharedDoneFalseStopsOneSource(t *testing.T) {
 		},
 	}
 	b := SharedSource[int, int]{
-		Next: func() (int, bool) {
+		Next: func(context.Context) (int, bool) {
 			if bIssued >= 20 {
 				return 0, false
 			}
@@ -375,7 +375,7 @@ func TestSharedRaceHammer(t *testing.T) {
 		sources[i] = SharedSource[int, int]{
 			Weight: float64(1 + i%3),
 			Max:    max,
-			Next: func() (int, bool) {
+			Next: func(context.Context) (int, bool) {
 				if issued >= jobs {
 					return 0, false
 				}

@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -79,6 +80,9 @@ func probeState(raw []byte, topology string) {
 			for k := range st {
 				keys = append(keys, k)
 			}
+			// Sorted so the failure message is stable across runs
+			// (stormlint: maporder).
+			sort.Strings(keys)
 			fail("/api/state missing %q (has: %s)", key, strings.Join(keys, ", "))
 		}
 	}
