@@ -9,10 +9,10 @@ SHELL := /bin/bash
 # on — one variable, so the two sets cannot diverge (a baseline
 # refreshed from a fuller report must never contain benchmarks the gate
 # run does not produce).
-GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|FleetSchedule)$$
+GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|FleetSchedule|MonitorObserve)$$
 GATE_PERCENT = 0.30
 
-.PHONY: build test lint stormlint bench bench-baseline bench-gate dash-smoke fleet-smoke
+.PHONY: build test lint stormlint bench bench-baseline bench-gate dash-smoke fleet-smoke watch-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -63,3 +63,9 @@ dash-smoke:
 # `stormtune fleet` run, /api/fleet + per-session SSE probes.
 fleet-smoke:
 	./scripts/fleet-smoke.sh
+
+# The CI continuous-tuning smoke test: a live `stormtune watch` under a
+# flash-crowd drift, asserting the retune episode shows up in
+# /api/state and on the SSE stream.
+watch-smoke:
+	./scripts/watch-smoke.sh

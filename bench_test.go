@@ -28,6 +28,8 @@ import (
 	"stormtune/internal/experiments"
 	"stormtune/internal/gp"
 	"stormtune/internal/scheduler"
+	"stormtune/internal/storm"
+	"stormtune/internal/watch"
 )
 
 var printed sync.Map
@@ -276,6 +278,38 @@ func BenchmarkTunerRunAsync(b *testing.B) {
 		}
 		if len(res.Records) == 0 {
 			b.Fatal("no records")
+		}
+	}
+}
+
+// BenchmarkMonitorObserve measures the watch degradation monitor
+// consuming a 10k-sample observation stream per op — the per-sample
+// cost of continuous tuning's hold phase (rolling baseline update,
+// degradation/backpressure streak tracking, episode bookkeeping),
+// including the trigger/reset cycle every time a degradation burst
+// fires. Gated against BENCH_baseline.json by cmd/benchcmp.
+func BenchmarkMonitorObserve(b *testing.B) {
+	const samples = 10_000
+	// A deterministic stream: long healthy stretches with a degradation
+	// burst every 100 samples, so each op exercises fills, pushes,
+	// streaks and ~100 full trigger/reset episodes.
+	stream := make([]storm.Result, samples)
+	for i := range stream {
+		r := storm.Result{Throughput: 95 + float64(i%7), OfferedLoad: 100}
+		if i%100 >= 90 {
+			r.Throughput = 40
+			r.Backpressured = true
+		}
+		stream[i] = r
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := watch.NewMonitor(watch.MonitorOptions{Window: 8})
+		for j, r := range stream {
+			m.Observe(float64(j)*60, r)
+			if _, ok := m.TakeTrigger(); ok {
+				m.Reset()
+			}
 		}
 	}
 }

@@ -54,6 +54,25 @@
 // weighted fair share, and -dash serves one aggregated dashboard
 // (GET /api/fleet plus a full per-session dashboard under
 // /sessions/<name>/). See fleet.go for the manifest format.
+//
+// Continuous tuning:
+//
+//	stormtune watch [-topology ...] [-drift SPEC] [-base-load X]
+//	                [-steps N] [-retune-steps N] [-episodes N]
+//	                [-horizon S] [-trial-cost S] [-hold-interval S]
+//	                [-cooldown S] [-throttle D] [-dash ADDR]
+//	                [-snapshot file.json] [-snapshot-every N]
+//	                [-resume file.json] [-quiet]
+//
+// watch is a tuning session that never ends: it tunes the topology,
+// then holds — monitoring the incumbent on a simulated timeline while
+// the offered load drifts per -drift — and when sustained degradation
+// or backpressure is detected it runs a conservative trust-region
+// retune and holds again, until Ctrl-C, -horizon simulated seconds, or
+// -episodes retune episodes. -snapshot/-resume persist and restore the
+// whole watch (mid-retune included); -dash serves the same live
+// dashboard as tune, with retune episodes in the state and event
+// stream. See watch.go for the drift spec syntax.
 package main
 
 import (
@@ -81,6 +100,9 @@ func main() {
 			return
 		case "fleet":
 			runFleet(args[1:])
+			return
+		case "watch":
+			runWatch(args[1:])
 			return
 		case "tune":
 			args = args[1:]

@@ -201,6 +201,39 @@
 // -manifest fleet.json -dash :8090` builds all of this from a small
 // JSON manifest (workers, slots, sessions).
 //
+// # Continuous tuning
+//
+// A configuration tuned once is only optimal for the workload it was
+// tuned under. Watch (and the `stormtune watch` subcommand) runs the
+// session that never ends: an initial tune, then a hold phase probing
+// the incumbent on the live stream while a degradation monitor keeps a
+// noise-aware rolling baseline of utilization, then — on a sustained
+// run of degraded or backpressured samples (hysteresis and a cooldown
+// guard against noise and thrash) — a conservative retune, then back
+// to holding. The retune is seeded from the incumbent and its
+// candidates are bounded to a trust region around it that widens after
+// consecutive improvements and shrinks on regression, so exploration
+// stays near what already works while production traffic rides on
+// every trial. Retunes re-enter the normal ask/tell session loop, so
+// retries, snapshots, Recorders and dashboards work unchanged; the
+// typed HoldSampled, RetuneTriggered and RetuneCompleted events carry
+// the episode stream to observers and the dashboard.
+//
+//	w, _ := stormtune.NewWatcher(t, stormtune.AsBackend(
+//		stormtune.Drifting(ev, stormtune.FlashCrowd{At: 3600, Magnitude: 2}, 300)),
+//		stormtune.WatchOptions{Steps: 40, Horizon: 86400})
+//	_ = w.Run(ctx) // tune, hold, retune on drift, repeat
+//
+// Drifting wraps any Evaluator with a deterministic time-varying
+// offered load (Diurnal, FlashCrowd, Trend, Squall, composed with
+// ComposeDrift or parsed from a CLI spec by ParseDrift): the inner
+// evaluator measures capacity, delivered throughput is min(capacity,
+// offered), and trials whose capacity falls short are flagged
+// backpressured. The whole loop runs on a simulated clock — no
+// wall-clock read sits in any decision path — so a fixed seed replays
+// the same episode sequence and a WatchState snapshot taken mid-retune
+// resumes bit-identically (ResumeWatcher).
+//
 // # Concurrent trials
 //
 // The paper evaluates one configuration at a time, but a real cluster

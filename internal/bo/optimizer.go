@@ -54,6 +54,13 @@ type Options struct {
 	// Liar selects the fantasy objective used by SuggestBatch's
 	// constant-liar strategy (default LiarMin, the pessimistic lie).
 	Liar LiarStrategy
+	// Trust, when set, confines every suggestion to a trust region
+	// around the current incumbent — conservative (retune) mode. The
+	// first suggestion with no data is the region's center itself, and
+	// Observe adapts the region (recenter/widen/shrink). Runtime-only,
+	// like the other non-scalar options: bo.State does not carry it,
+	// the session-level snapshot reconstructs it.
+	Trust *TrustRegion
 }
 
 func (o Options) withDefaults(d int) Options {
@@ -164,13 +171,21 @@ func (opt *Optimizer) Suggest() []float64 {
 }
 
 func (opt *Optimizer) suggestOne() []float64 {
+	// Conservative mode: with no data at all, the first proposal is the
+	// trust region's center — the incumbent re-measured under current
+	// conditions before the search moves anywhere.
+	if t := opt.Opts.Trust; t != nil && len(opt.obs)+len(opt.pending) == 0 && len(t.Center) == opt.Space.D() {
+		u := t.Clamp(t.Center)
+		opt.pending = append(opt.pending, u)
+		return u
+	}
 	if len(opt.obs)+len(opt.pending) < opt.Opts.InitialDesign && opt.initNext < opt.Opts.InitialDesign {
 		// The whole design is drawn in one LHS so points are stratified
 		// against each other; hand them out one per call.
 		if opt.initQueue == nil {
 			opt.initQueue = sample.LatinHypercube(opt.rng, opt.Opts.InitialDesign, opt.Space.D())
 		}
-		u := opt.initQueue[opt.initNext]
+		u := opt.confine(opt.initQueue[opt.initNext])
 		opt.initNext++
 		opt.pending = append(opt.pending, u)
 		return u
@@ -178,6 +193,14 @@ func (opt *Optimizer) suggestOne() []float64 {
 	u := opt.suggestGP()
 	opt.pending = append(opt.pending, u)
 	return u
+}
+
+// confine clamps a proposal into the trust region, when one is set.
+func (opt *Optimizer) confine(u []float64) []float64 {
+	if opt.Opts.Trust == nil {
+		return u
+	}
+	return opt.Opts.Trust.Clamp(u)
 }
 
 func (opt *Optimizer) suggestGP() []float64 {
@@ -206,7 +229,7 @@ func (opt *Optimizer) suggestGP() []float64 {
 	g := gp.New(opt.Opts.Kernel(d), opt.Opts.NoiseVar)
 	if err := g.Fit(xs, ny); err != nil {
 		// Degenerate surrogate: fall back to random exploration.
-		return sample.Uniform(opt.rng, 1, d)[0]
+		return opt.confine(sample.Uniform(opt.rng, 1, d)[0])
 	}
 
 	// Hyperparameter handling: marginalize over slice samples or MAP.
@@ -266,8 +289,18 @@ func (opt *Optimizer) suggestGP() []float64 {
 		}
 	}
 
+	// Conservative mode confines the whole candidate pool — every
+	// source above (uniform, Halton, seeds, incumbent jitter, axis
+	// sweeps) — into the trust box, so nothing outside it can even be
+	// scored.
+	if opt.Opts.Trust != nil {
+		for i, c := range cands {
+			cands[i] = opt.Opts.Trust.Clamp(c)
+		}
+	}
+
 	if len(cands) == 0 {
-		return sample.Uniform(opt.rng, 1, d)[0]
+		return opt.confine(sample.Uniform(opt.rng, 1, d)[0])
 	}
 	sc := scorer{gps: gps, acq: opt.Opts.Acq, bestY: bestY}
 	bi, bestScore := sc.argmax(cands, opt.Opts.Workers)
@@ -283,6 +316,7 @@ func (opt *Optimizer) suggestGP() []float64 {
 			for _, dir := range []float64{1, -1} {
 				trial := append([]float64(nil), cur...)
 				trial[j] = clamp01(trial[j] + dir*step)
+				trial = opt.confine(trial)
 				if s := score(trial); s > bestScore {
 					bestScore = s
 					cur = trial
@@ -331,6 +365,9 @@ func (opt *Optimizer) Observe(u []float64, y float64) {
 		panic(fmt.Sprintf("bo: observe point of dim %d against space of dim %d", len(u), opt.Space.D()))
 	}
 	opt.obs = append(opt.obs, Observation{U: append([]float64(nil), u...), Y: y})
+	if opt.Opts.Trust != nil {
+		opt.Opts.Trust.Observe(u, y)
+	}
 	// Drop the matching pending entry, if any.
 	for i, p := range opt.pending {
 		if sameVec(p, u) {

@@ -51,10 +51,15 @@ func AsBackend(ev storm.Evaluator) Backend {
 	return &EvaluatorBackend{Ev: ev}
 }
 
-// Run implements Backend.
+// Run implements Backend. An evaluator that understands simulated time
+// (storm.TimedEvaluator — drifting workloads) measures at the trial's
+// SimTime; stationary evaluators ignore it.
 func (b *EvaluatorBackend) Run(ctx context.Context, tr Trial) (storm.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return storm.Result{}, err
+	}
+	if te, ok := b.Ev.(storm.TimedEvaluator); ok {
+		return te.RunAt(tr.Config, tr.RunIndex, tr.SimTime), nil
 	}
 	return b.Ev.Run(tr.Config, tr.RunIndex), nil
 }

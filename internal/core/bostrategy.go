@@ -259,6 +259,100 @@ func (s *BOStrategy) BestConfig() (storm.Config, bool) {
 	return s.decode(u), true
 }
 
+// Encode maps a concrete configuration back to the unit cube — the
+// inverse of decode up to integer rounding. A retune session uses it
+// to center its trust region on the running incumbent and to warm the
+// optimizer with the previous session's measurements.
+func (s *BOStrategy) Encode(cfg storm.Config) []float64 {
+	n := s.topology.N()
+	var vals []float64
+	switch s.set {
+	case Hints, HintsBatch:
+		for i := 0; i < n; i++ {
+			vals = append(vals, float64(cfg.Hints[i]))
+		}
+		vals = append(vals, float64(cfg.MaxTasks))
+		if s.set == HintsBatch {
+			vals = append(vals, float64(cfg.BatchSize), float64(cfg.BatchParallelism))
+		}
+	case BatchCC:
+		vals = append(vals, float64(cfg.BatchSize), float64(cfg.BatchParallelism),
+			float64(cfg.WorkerThreads), float64(cfg.ReceiverThreads), float64(cfg.Ackers))
+	case InformedHints:
+		for i := 0; i < n; i++ {
+			w := s.weights[i]
+			if w <= 0 {
+				w = 1
+			}
+			vals = append(vals, float64(cfg.Hints[i])/w)
+		}
+		vals = append(vals, float64(cfg.MaxTasks))
+	}
+	return s.space.Encode(vals)
+}
+
+// WarmObservation is one (configuration, objective) pair used to warm
+// a retune strategy with measurements from the session that produced
+// the incumbent.
+type WarmObservation struct {
+	Config storm.Config `json:"config"`
+	Y      float64      `json:"y"`
+}
+
+// RetuneOptions bound a conservative retune session's per-step
+// movement in the unit cube (see bo.TrustRegion). All fields are
+// serializable so a snapshot can reconstruct the exact region. Zero
+// values select the defaults.
+type RetuneOptions struct {
+	// Radius is the initial trust-region half-width (default 0.1).
+	Radius float64 `json:"radius,omitempty"`
+	// RadiusMin/RadiusMax bound adaptation (defaults 0.02 / 0.5).
+	RadiusMin float64 `json:"radiusMin,omitempty"`
+	RadiusMax float64 `json:"radiusMax,omitempty"`
+	// Grow/Shrink/GrowAfter set the Big/Small adaptation (defaults
+	// 1.6 / 0.5 / 2).
+	Grow      float64 `json:"grow,omitempty"`
+	Shrink    float64 `json:"shrink,omitempty"`
+	GrowAfter int     `json:"growAfter,omitempty"`
+}
+
+func (ro RetuneOptions) radius() float64 {
+	if ro.Radius <= 0 {
+		return 0.1
+	}
+	return ro.Radius
+}
+
+// NewRetuneBO builds a conservative retune strategy: a BO strategy
+// warm-started with the previous session's measurements and confined
+// to a trust region centered on the incumbent. The warm observations
+// are fed to the optimizer *before* the region attaches, so seeding
+// does not walk the radius; the incumbent is observed last so it is
+// the optimizer's Best when history and incumbent tie. The returned
+// strategy enters the normal ask/tell loop — snapshot/resume, retry
+// policy, Recorder and dashboard all work unchanged.
+func NewRetuneBO(t *topo.Topology, spec cluster.Spec, template storm.Config, opts BOOptions,
+	incumbent WarmObservation, history []WarmObservation, ro RetuneOptions) *BOStrategy {
+	// The incumbent is re-proposed or improved upon, never re-seeded
+	// from a cold Latin hypercube.
+	opts.Opt.InitialDesign = 1
+	s := NewBO(t, spec, template, opts)
+	s.name += ".retune"
+	for _, w := range history {
+		s.opt.Observe(s.Encode(w.Config), w.Y)
+	}
+	center := s.Encode(incumbent.Config)
+	s.opt.Observe(center, incumbent.Y)
+	tr := &bo.TrustRegion{
+		Center: center, Radius: ro.radius(),
+		RadiusMin: ro.RadiusMin, RadiusMax: ro.RadiusMax,
+		Grow: ro.Grow, Shrink: ro.Shrink, GrowAfter: ro.GrowAfter,
+	}
+	tr.Baseline(incumbent.Y)
+	s.opt.Opts.Trust = tr
+	return s
+}
+
 // decode maps a unit-cube point to a concrete configuration.
 func (s *BOStrategy) decode(u []float64) storm.Config {
 	vals := s.space.Decode(u)

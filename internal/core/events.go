@@ -79,6 +79,56 @@ type ParallelismClamped struct {
 	Allowed   int
 }
 
+// HoldSampled reports one monitoring measurement of the incumbent
+// taken while a continuous-tuning watch holds between retunes.
+type HoldSampled struct {
+	// SimTime is the simulated timestamp of the sample.
+	SimTime float64
+	// Result is the incumbent's measurement at that instant.
+	Result storm.Result
+	// Baseline is the monitor's current rolling performance estimate
+	// (utilization when the workload reports offered load, raw
+	// throughput otherwise); zero until the baseline window fills.
+	Baseline float64
+}
+
+// RetuneTriggered reports that a watch's degradation monitor fired:
+// the incumbent has sustainedly underperformed its rolling baseline
+// (or sustained backpressure) and a conservative retune episode is
+// starting.
+type RetuneTriggered struct {
+	// Episode is the 1-based retune episode index within the watch.
+	Episode int
+	// SimTime is the simulated timestamp of the trigger.
+	SimTime float64
+	// Baseline is the rolling performance estimate the incumbent was
+	// held against.
+	Baseline float64
+	// Current is the degraded performance estimate that tripped the
+	// monitor.
+	Current float64
+	// Reason distinguishes the trigger path: "degradation" or
+	// "backpressure".
+	Reason string
+}
+
+// RetuneCompleted reports that a retune episode's conservative BO
+// session finished and the watch is holding on a (possibly new)
+// incumbent.
+type RetuneCompleted struct {
+	// Episode matches the RetuneTriggered that started the episode.
+	Episode int
+	// SimTime is the simulated timestamp at completion.
+	SimTime float64
+	// Steps is the number of retune trials evaluated.
+	Steps int
+	// Best is the incumbent the watch holds after the episode; Found
+	// is false when every retune trial failed (the old incumbent is
+	// kept).
+	Best  RunRecord
+	Found bool
+}
+
 func (TrialStarted) sessionEvent()       {}
 func (TrialCompleted) sessionEvent()     {}
 func (TrialFailed) sessionEvent()        {}
@@ -86,6 +136,9 @@ func (TrialRetried) sessionEvent()       {}
 func (NewBest) sessionEvent()            {}
 func (PassCompleted) sessionEvent()      {}
 func (ParallelismClamped) sessionEvent() {}
+func (HoldSampled) sessionEvent()        {}
+func (RetuneTriggered) sessionEvent()    {}
+func (RetuneCompleted) sessionEvent()    {}
 
 // Observer receives session events. Callbacks are serialized — at most
 // one runs at a time — but with a concurrent driver (RunBatch,

@@ -97,6 +97,20 @@ type RecordedEvent struct {
 	// Requested and Allowed describe a parallelism_clamped.
 	Requested int `json:"requested,omitempty"`
 	Allowed   int `json:"allowed,omitempty"`
+	// SimTime is the simulated timestamp of continuous-tuning events
+	// (hold_sample, retune_triggered, retune_completed).
+	SimTime float64 `json:"simTime,omitempty"`
+	// Episode is the retune episode of retune_triggered /
+	// retune_completed.
+	Episode int `json:"episode,omitempty"`
+	// Baseline is the monitor's rolling performance estimate
+	// (hold_sample, retune_triggered); Current is the degraded estimate
+	// that tripped a retune_triggered.
+	Baseline float64 `json:"baseline,omitempty"`
+	Current  float64 `json:"current,omitempty"`
+	// Reason is the retune_triggered trigger path ("degradation" or
+	// "backpressure").
+	Reason string `json:"reason,omitempty"`
 	// Replayed marks an event synthesized by Prime from a snapshot
 	// rather than observed live; its timing fields describe the replay,
 	// not the original run.
@@ -112,6 +126,9 @@ const (
 	KindNewBest            = "new_best"
 	KindPassCompleted      = "pass_completed"
 	KindParallelismClamped = "parallelism_clamped"
+	KindHoldSample         = "hold_sample"
+	KindRetuneTriggered    = "retune_triggered"
+	KindRetuneCompleted    = "retune_completed"
 )
 
 // TrialView is the Recorder's derived per-trial state.
@@ -154,6 +171,30 @@ type IncumbentPoint struct {
 	ElapsedMS int64 `json:"elapsedMs"`
 }
 
+// RetunePoint is one retune episode in the Recorder's derived state:
+// when the monitor fired, why, and how the episode ended. Completed is
+// false while the episode's conservative search is still running.
+type RetunePoint struct {
+	// Episode is the 1-based retune episode index.
+	Episode int `json:"episode"`
+	// SimTime is the simulated timestamp of the trigger.
+	SimTime float64 `json:"simTime"`
+	// Baseline and Current are the monitor's estimates at the trigger.
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Reason is the trigger path: "degradation" or "backpressure".
+	Reason string `json:"reason"`
+	// Completed marks a finished episode; the fields below are zero
+	// until then.
+	Completed bool `json:"completed"`
+	// CompletedSimTime is the simulated timestamp at completion.
+	CompletedSimTime float64 `json:"completedSimTime,omitempty"`
+	// Steps is the number of retune trials the episode evaluated.
+	Steps int `json:"steps,omitempty"`
+	// Best is the throughput of the incumbent held after the episode.
+	Best float64 `json:"best,omitempty"`
+}
+
 // RecorderSnapshot is the queryable state of a Recorder at one instant.
 type RecorderSnapshot struct {
 	// StartedAt is when the Recorder was created (or primed).
@@ -179,6 +220,9 @@ type RecorderSnapshot struct {
 	FailedN   int `json:"failedTrials"`
 	// Retries is the total number of lost attempts that were retried.
 	Retries int `json:"retries"`
+	// Retunes lists the continuous-tuning retune episodes observed so
+	// far (empty for plain tuning runs).
+	Retunes []RetunePoint `json:"retunes,omitempty"`
 	// Done reports that a driver finished (pass_completed observed).
 	Done bool `json:"done"`
 }
@@ -202,6 +246,7 @@ type Recorder struct {
 	best    float64
 	bestID  int
 	retries int
+	retunes []RetunePoint
 	done    bool
 	// wake is closed and replaced whenever the history grows, so
 	// EventsSince callers can block for the next event without polling.
@@ -333,6 +378,42 @@ func (r *Recorder) OnEvent(e Event) {
 		re.Kind = KindParallelismClamped
 		re.Requested = ev.Requested
 		re.Allowed = ev.Allowed
+	case HoldSampled:
+		re.Kind = KindHoldSample
+		re.SimTime = ev.SimTime
+		re.Throughput = ev.Result.Throughput
+		re.Failed = ev.Result.Failed
+		re.Failure = string(ev.Result.Failure)
+		re.Baseline = ev.Baseline
+	case RetuneTriggered:
+		re.Kind = KindRetuneTriggered
+		re.SimTime = ev.SimTime
+		re.Episode = ev.Episode
+		re.Baseline = ev.Baseline
+		re.Current = ev.Current
+		re.Reason = ev.Reason
+		r.retunes = append(r.retunes, RetunePoint{
+			Episode: ev.Episode, SimTime: ev.SimTime,
+			Baseline: ev.Baseline, Current: ev.Current, Reason: ev.Reason,
+		})
+	case RetuneCompleted:
+		re.Kind = KindRetuneCompleted
+		re.SimTime = ev.SimTime
+		re.Episode = ev.Episode
+		re.Steps = ev.Steps
+		re.Found = ev.Found
+		re.Throughput = ev.Best.Result.Throughput
+		// Complete the matching episode; retunes are appended in episode
+		// order so scanning backwards finds it first.
+		for i := len(r.retunes) - 1; i >= 0; i-- {
+			if r.retunes[i].Episode == ev.Episode {
+				r.retunes[i].Completed = true
+				r.retunes[i].CompletedSimTime = ev.SimTime
+				r.retunes[i].Steps = ev.Steps
+				r.retunes[i].Best = ev.Best.Result.Throughput
+				break
+			}
+		}
 	default:
 		r.mu.Unlock()
 		return // unknown future event type: derive nothing, record nothing
@@ -456,6 +537,7 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 		Best:      r.best,
 		BestTrial: r.bestID,
 		Retries:   r.retries,
+		Retunes:   append([]RetunePoint(nil), r.retunes...),
 		Done:      r.done,
 	}
 	for _, id := range r.order {

@@ -33,6 +33,20 @@ type Trial struct {
 	// Decision is the optimizer decision time attributed to this trial
 	// (a batch's decision time amortized over the batch).
 	Decision time.Duration
+	// SimTime is the simulated timestamp (seconds) the trial is
+	// measured at, stamped from SessionOptions.Clock at proposal time.
+	// Zero when the session has no clock — stationary evaluators
+	// ignore it, and storm.TimedEvaluator backends measure drifting
+	// workloads at this instant.
+	SimTime float64
+}
+
+// SimClock supplies the simulated timestamp stamped onto proposed
+// trials. Implementations must be safe for concurrent use; the watch
+// controller advances its clock from observer callbacks, never from
+// the wall clock, so sessions stay deterministic.
+type SimClock interface {
+	Now() float64
 }
 
 // SessionOptions configure a tuning session.
@@ -56,6 +70,11 @@ type SessionOptions struct {
 	TrialTimeout time.Duration
 	// Observer receives the session's typed events; nil disables.
 	Observer Observer
+	// Clock stamps proposed trials with a simulated timestamp
+	// (Trial.SimTime); nil stamps zero. Continuous-tuning sessions over
+	// drifting workloads set it so the same configuration measured at
+	// different times sees different load.
+	Clock SimClock
 }
 
 // ErrNoBackend is returned by the drivers of a session constructed
@@ -172,13 +191,19 @@ func (s *Session) propose(ctx context.Context, n int, fillPending bool) ([]Trial
 		return nil, nil
 	}
 	per := dec / time.Duration(len(cfgs))
+	// One clock read per batch: trials proposed together measure at the
+	// same simulated instant, keeping batch proposals reproducible.
+	var simTime float64
+	if s.opts.Clock != nil {
+		simTime = s.opts.Clock.Now()
+	}
 	trials := make([]Trial, len(cfgs))
 	evs := make([]Event, len(cfgs))
 	for i, cfg := range cfgs {
 		s.issued++
 		trials[i] = Trial{
 			ID: s.issued, Config: cfg, RunIndex: s.opts.RunOffset + s.issued,
-			Timeout: s.opts.TrialTimeout, Decision: per,
+			Timeout: s.opts.TrialTimeout, Decision: per, SimTime: simTime,
 		}
 		evs[i] = TrialStarted{Trial: trials[i]}
 	}

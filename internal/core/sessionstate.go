@@ -37,6 +37,10 @@ type TrialState struct {
 	Config     storm.Config `json:"config"`
 	Attempt    int          `json:"attempt,omitempty"`
 	DecisionNS int64        `json:"decisionNs,omitempty"`
+	// SimTime preserves the simulated timestamp the trial was proposed
+	// at, so a resumed drifting-workload session re-measures it under
+	// the same load.
+	SimTime float64 `json:"simTime,omitempty"`
 }
 
 // SessionState is the serializable snapshot of a session: the completed
@@ -93,6 +97,7 @@ func (s *Session) Snapshot() *SessionState {
 	for _, p := range s.pending {
 		st.Pending = append(st.Pending, TrialState{
 			ID: p.ID, Config: p.Config, Attempt: p.Attempt, DecisionNS: int64(p.Decision),
+			SimTime: p.SimTime,
 		})
 	}
 	return st
@@ -225,6 +230,7 @@ func ResumeSession(st *SessionState, strat Strategy, bk Backend, opts SessionOpt
 			Attempt:  p.Attempt,
 			Timeout:  opts.TrialTimeout,
 			Decision: time.Duration(p.DecisionNS),
+			SimTime:  p.SimTime,
 		})
 	}
 	return s, nil

@@ -54,6 +54,28 @@ func GetSundog(sc Scale) *SundogData {
 	return d
 }
 
+// sharedDrift memoizes the drift family per scale signature.
+var sharedDrift struct {
+	mu    sync.Mutex
+	key   string
+	value *DriftData
+}
+
+// GetDrift returns the (possibly cached) drift-family runs for the
+// scale.
+func GetDrift(sc Scale) *DriftData {
+	key := fmt.Sprintf("%+v", sc)
+	sharedDrift.mu.Lock()
+	defer sharedDrift.mu.Unlock()
+	if sharedDrift.key == key && sharedDrift.value != nil {
+		return sharedDrift.value
+	}
+	d := RunDrift(sc)
+	sharedDrift.key = key
+	sharedDrift.value = d
+	return d
+}
+
 // Registry maps experiment ids to runners.
 var Registry = map[string]Runner{
 	"table2":   func(Scale) []*Report { return []*Report{Table2()} },
@@ -66,6 +88,7 @@ var Registry = map[string]Runner{
 	"fig8a":    func(sc Scale) []*Report { return []*Report{Fig8a(GetSundog(sc))} },
 	"fig8b":    func(sc Scale) []*Report { return []*Report{Fig8b(GetSundog(sc))} },
 	"ablation": func(sc Scale) []*Report { return []*Report{Ablation(sc)} },
+	"drift":    func(sc Scale) []*Report { return []*Report{Drift(GetDrift(sc))} },
 	"batch":    func(sc Scale) []*Report { return []*Report{BatchScaling(sc)} },
 	"async":    func(sc Scale) []*Report { return []*Report{AsyncScaling(sc)} },
 }

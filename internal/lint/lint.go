@@ -50,6 +50,7 @@ var DefaultScope = map[string][]string{
 		"stormtune/internal/sample/...",
 		"stormtune/internal/des/...",
 		"stormtune/internal/storm/...",
+		"stormtune/internal/watch/...",
 	},
 	"nowallclock": {
 		"stormtune/internal/bo/...",
@@ -57,6 +58,8 @@ var DefaultScope = map[string][]string{
 		"stormtune/internal/linalg/...",
 		"stormtune/internal/sample/...",
 		"stormtune/internal/scheduler/...",
+		"stormtune/internal/storm/...",
+		"stormtune/internal/watch/...",
 	},
 	"ctxflow": {
 		"stormtune", // the public API package, exactly

@@ -39,3 +39,22 @@ func goodNoClock() time.Duration {
 	d := 5 * time.Millisecond
 	return d * 2
 }
+
+// monitor mimics the watch degradation monitor: every decision input
+// is a simulated timestamp passed in by the caller, so the whole
+// decision path is clean without any directive.
+type monitor struct {
+	firedAt  float64
+	cooldown float64
+}
+
+func (m *monitor) goodSimClockDecision(simTime float64) bool {
+	return simTime-m.firedAt >= m.cooldown
+}
+
+// badWallClockDecision smuggles the wall clock into the same decision;
+// replaying a snapshot would then diverge from the live run.
+func (m *monitor) badWallClockDecision() bool {
+	now := float64(time.Now().UnixNano()) / 1e9 // want "wall-clock read time.Now"
+	return now-m.firedAt >= m.cooldown
+}

@@ -1,0 +1,381 @@
+package storm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DriftProfile modulates a workload's offered load over a simulated
+// timeline. Factor returns the multiplier applied to the base arrival
+// rate at simulated time t (seconds); 1 means nominal load. Profiles
+// are pure functions of t (plus an explicit seed where randomness is
+// wanted), so a fixed profile yields a bit-identical load curve on
+// every run — the property the golden determinism tests pin down.
+type DriftProfile interface {
+	// Factor returns the offered-load multiplier at simulated time t
+	// seconds. Implementations must be deterministic and never return
+	// a negative value.
+	Factor(t float64) float64
+	// String renders the profile in the -drift flag syntax, so a
+	// profile parsed from a spec round-trips.
+	String() string
+}
+
+// Diurnal is a sinusoidal day/night cycle: the offered load swings
+// ±Amplitude around nominal with the given period.
+type Diurnal struct {
+	// Period is the cycle length in simulated seconds (default 86400,
+	// one day).
+	Period float64
+	// Amplitude is the peak fractional swing (0.4 means load varies
+	// between 0.6× and 1.4× nominal). Values are clamped so the factor
+	// never goes negative.
+	Amplitude float64
+	// Phase shifts the cycle start, in simulated seconds.
+	Phase float64
+}
+
+// Factor implements DriftProfile.
+func (d Diurnal) Factor(t float64) float64 {
+	period := d.Period
+	if period <= 0 {
+		period = 86400
+	}
+	f := 1 + d.Amplitude*math.Sin(2*math.Pi*(t+d.Phase)/period)
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// String implements DriftProfile.
+func (d Diurnal) String() string {
+	return fmt.Sprintf("diurnal:period=%s,amp=%s,phase=%s",
+		trimFloat(d.Period), trimFloat(d.Amplitude), trimFloat(d.Phase))
+}
+
+// FlashCrowd is a step-function load spike: at time At the offered
+// load ramps up to Magnitude× nominal over Ramp seconds, holds for
+// Duration, then ramps back down. Duration ≤ 0 means the crowd never
+// leaves (a permanent regime change).
+type FlashCrowd struct {
+	// At is when the spike begins, in simulated seconds.
+	At float64
+	// Duration is how long the elevated load holds (excluding ramps).
+	Duration float64
+	// Magnitude is the multiplier at the plateau (3 = 3× nominal).
+	Magnitude float64
+	// Ramp is the linear ramp-up/ramp-down length in seconds; 0 means
+	// an instantaneous step.
+	Ramp float64
+}
+
+// Factor implements DriftProfile.
+func (f FlashCrowd) Factor(t float64) float64 {
+	mag := f.Magnitude
+	if mag <= 0 {
+		mag = 1
+	}
+	rel := t - f.At
+	if rel < 0 {
+		return 1
+	}
+	// Ramp up.
+	if f.Ramp > 0 && rel < f.Ramp {
+		return 1 + (mag-1)*rel/f.Ramp
+	}
+	hold := rel
+	if f.Ramp > 0 {
+		hold -= f.Ramp
+	}
+	if f.Duration <= 0 || hold < f.Duration {
+		return mag
+	}
+	// Ramp down.
+	down := hold - f.Duration
+	if f.Ramp > 0 && down < f.Ramp {
+		return mag - (mag-1)*down/f.Ramp
+	}
+	return 1
+}
+
+// String implements DriftProfile.
+func (f FlashCrowd) String() string {
+	return fmt.Sprintf("flash:at=%s,dur=%s,mag=%s,ramp=%s",
+		trimFloat(f.At), trimFloat(f.Duration), trimFloat(f.Magnitude), trimFloat(f.Ramp))
+}
+
+// Trend is gradual linear drift: the offered load grows (or shrinks,
+// for negative Slope) by Slope× nominal per simulated second, floored
+// at zero.
+type Trend struct {
+	// Slope is the fractional load change per simulated second
+	// (1e-4 ≈ +36% per hour).
+	Slope float64
+}
+
+// Factor implements DriftProfile.
+func (tr Trend) Factor(t float64) float64 {
+	f := 1 + tr.Slope*t
+	if f < 0 {
+		f = 0
+	}
+	return f
+}
+
+// String implements DriftProfile.
+func (tr Trend) String() string {
+	return fmt.Sprintf("trend:slope=%s", trimFloat(tr.Slope))
+}
+
+// Squall is seeded random burstiness: the timeline is cut into
+// Window-second windows and each window independently hosts a spike
+// of Magnitude× nominal with probability Prob. Whether a window
+// spikes is a pure hash of (Seed, window index), so a fixed seed
+// yields a bit-identical spike train.
+type Squall struct {
+	// Window is the spike granularity in simulated seconds (default
+	// 300).
+	Window float64
+	// Prob is the per-window spike probability (default 0.05).
+	Prob float64
+	// Magnitude is the multiplier during a spiking window (default 2).
+	Magnitude float64
+	// Seed selects the spike train.
+	Seed int64
+}
+
+// Factor implements DriftProfile.
+func (s Squall) Factor(t float64) float64 {
+	if t < 0 {
+		return 1
+	}
+	window := s.Window
+	if window <= 0 {
+		window = 300
+	}
+	prob := s.Prob
+	if prob <= 0 {
+		prob = 0.05
+	}
+	mag := s.Magnitude
+	if mag <= 0 {
+		mag = 2
+	}
+	idx := uint64(t / window)
+	h := splitmix(uint64(s.Seed)*0xbf58476d1ce4e5b9 ^ (idx+1)*0x9e3779b97f4a7c15)
+	u := float64(h>>11) / float64(1<<53)
+	if u < prob {
+		return mag
+	}
+	return 1
+}
+
+// String implements DriftProfile.
+func (s Squall) String() string {
+	return fmt.Sprintf("squall:window=%s,prob=%s,mag=%s,seed=%d",
+		trimFloat(s.Window), trimFloat(s.Prob), trimFloat(s.Magnitude), s.Seed)
+}
+
+// Composite multiplies component profiles: diurnal cycles under a
+// growth trend with occasional squalls compose naturally because each
+// factor is relative to nominal.
+type Composite []DriftProfile
+
+// Compose combines profiles multiplicatively. Compose() (no parts)
+// yields the stationary profile (factor 1 everywhere).
+func Compose(parts ...DriftProfile) Composite { return Composite(parts) }
+
+// Factor implements DriftProfile.
+func (c Composite) Factor(t float64) float64 {
+	f := 1.0
+	for _, p := range c {
+		f *= p.Factor(t)
+	}
+	return f
+}
+
+// String implements DriftProfile.
+func (c Composite) String() string {
+	parts := make([]string, len(c))
+	for i, p := range c {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseDrift parses a -drift flag spec into a profile. The syntax is
+// semicolon-separated components, each "kind:key=val,key=val":
+//
+//	flash:at=600,dur=900,mag=3,ramp=60
+//	diurnal:period=86400,amp=0.4,phase=0
+//	trend:slope=1e-4
+//	squall:window=300,prob=0.05,mag=2,seed=7
+//
+// Composed components multiply:
+// "diurnal:amp=0.3;flash:at=3600,mag=2". An empty spec or "none"
+// yields nil (stationary workload).
+func ParseDrift(spec string) (DriftProfile, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	var parts []DriftProfile
+	for _, comp := range strings.Split(spec, ";") {
+		comp = strings.TrimSpace(comp)
+		if comp == "" {
+			continue
+		}
+		p, err := parseDriftComponent(comp)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, p)
+	}
+	switch len(parts) {
+	case 0:
+		return nil, nil
+	case 1:
+		return parts[0], nil
+	default:
+		return Composite(parts), nil
+	}
+}
+
+func parseDriftComponent(comp string) (DriftProfile, error) {
+	kind, rest, _ := strings.Cut(comp, ":")
+	kind = strings.TrimSpace(kind)
+	kv, err := parseDriftArgs(rest)
+	if err != nil {
+		return nil, fmt.Errorf("storm: drift component %q: %w", comp, err)
+	}
+	// get consumes recognized keys so leftovers can be rejected; typos
+	// in a profile spec must fail loudly, not silently run stationary.
+	get := func(key string, def float64) float64 {
+		if v, ok := kv[key]; ok {
+			delete(kv, key)
+			return v
+		}
+		return def
+	}
+	var p DriftProfile
+	switch kind {
+	case "diurnal":
+		p = Diurnal{Period: get("period", 86400), Amplitude: get("amp", 0.4), Phase: get("phase", 0)}
+	case "flash":
+		p = FlashCrowd{At: get("at", 0), Duration: get("dur", 0), Magnitude: get("mag", 2), Ramp: get("ramp", 0)}
+	case "trend":
+		p = Trend{Slope: get("slope", 0)}
+	case "squall":
+		p = Squall{Window: get("window", 300), Prob: get("prob", 0.05), Magnitude: get("mag", 2), Seed: int64(get("seed", 0))}
+	default:
+		return nil, fmt.Errorf("storm: unknown drift kind %q (want diurnal, flash, trend or squall)", kind)
+	}
+	if len(kv) > 0 {
+		keys := make([]string, 0, len(kv))
+		for k := range kv {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return nil, fmt.Errorf("storm: drift component %q: unknown keys %v", comp, keys)
+	}
+	return p, nil
+}
+
+func parseDriftArgs(rest string) (map[string]float64, error) {
+	kv := make(map[string]float64)
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return kv, nil
+	}
+	for _, pair := range strings.Split(rest, ",") {
+		key, val, ok := strings.Cut(pair, "=")
+		if !ok {
+			return nil, fmt.Errorf("malformed pair %q (want key=value)", pair)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("value for %q: %v", strings.TrimSpace(key), err)
+		}
+		kv[strings.TrimSpace(key)] = f
+	}
+	return kv, nil
+}
+
+// trimFloat renders a float compactly for profile specs.
+func trimFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// DriftingEval wraps a stationary evaluator with a time-varying
+// offered load, the drift analogue of Jittered's duration skew. The
+// inner evaluator measures a configuration's *capacity*; the wrapper
+// caps delivered throughput at the load the profile offers at the
+// trial's simulated time:
+//
+//	offered   = BaseLoad × Profile.Factor(t)
+//	delivered = min(capacity, offered)
+//
+// so an over-provisioned config is indistinguishable from a
+// just-sufficient one until load rises — exactly the ambiguity that
+// makes continuous tuning necessary. Backpressured is set whenever
+// capacity < offered.
+type DriftingEval struct {
+	Inner Evaluator
+	// Profile modulates the offered load over simulated time; nil
+	// means stationary at BaseLoad.
+	Profile DriftProfile
+	// BaseLoad is the nominal offered arrival rate, in the inner
+	// evaluator's throughput units. ≤ 0 disables the load cap (the
+	// wrapper only annotates OfferedLoad as +Inf-free zero).
+	BaseLoad float64
+}
+
+// Drifting wraps ev with a time-varying offered load.
+func Drifting(ev Evaluator, profile DriftProfile, baseLoad float64) *DriftingEval {
+	return &DriftingEval{Inner: ev, Profile: profile, BaseLoad: baseLoad}
+}
+
+// Offered returns the offered load at simulated time t.
+func (d *DriftingEval) Offered(t float64) float64 {
+	if d.BaseLoad <= 0 {
+		return 0
+	}
+	f := 1.0
+	if d.Profile != nil {
+		f = d.Profile.Factor(t)
+	}
+	return d.BaseLoad * f
+}
+
+// RunAt implements TimedEvaluator: measure capacity with the inner
+// evaluator, then cap delivery at the load offered at simulated time
+// t.
+func (d *DriftingEval) RunAt(cfg Config, runIndex int, simTime float64) Result {
+	res := d.Inner.Run(cfg, runIndex)
+	offered := d.Offered(simTime)
+	if offered <= 0 {
+		return res
+	}
+	res.OfferedLoad = offered
+	if res.Failed {
+		return res
+	}
+	if res.Throughput >= offered {
+		res.Throughput = offered
+	} else {
+		res.Backpressured = true
+	}
+	return res
+}
+
+// Run implements Evaluator; it measures at simulated time zero.
+func (d *DriftingEval) Run(cfg Config, runIndex int) Result {
+	return d.RunAt(cfg, runIndex, 0)
+}
+
+// Metric implements Evaluator.
+func (d *DriftingEval) Metric() Metric { return d.Inner.Metric() }

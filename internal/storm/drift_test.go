@@ -1,0 +1,221 @@
+package storm
+
+import (
+	"math"
+	"testing"
+
+	"stormtune/internal/cluster"
+)
+
+// goldenCurve samples a profile on a fixed grid; the determinism
+// tests compare curves bit-for-bit (exact float equality), because
+// drift profiles are pure functions of time and seed.
+func goldenCurve(p DriftProfile, n int, step float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = p.Factor(float64(i) * step)
+	}
+	return out
+}
+
+func curvesIdentical(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDriftProfilesDeterministic(t *testing.T) {
+	// Two independently constructed instances of the same profile must
+	// produce bit-identical load curves.
+	cases := []struct {
+		name string
+		mk   func() DriftProfile
+	}{
+		{"diurnal", func() DriftProfile { return Diurnal{Period: 3600, Amplitude: 0.4, Phase: 120} }},
+		{"flash", func() DriftProfile { return FlashCrowd{At: 600, Duration: 900, Magnitude: 3, Ramp: 60} }},
+		{"trend", func() DriftProfile { return Trend{Slope: 1e-4} }},
+		{"squall", func() DriftProfile { return Squall{Window: 300, Prob: 0.1, Magnitude: 2, Seed: 7} }},
+		{"composite", func() DriftProfile {
+			return Compose(Diurnal{Period: 3600, Amplitude: 0.3}, Trend{Slope: 5e-5}, Squall{Seed: 3})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := goldenCurve(tc.mk(), 500, 30)
+			b := goldenCurve(tc.mk(), 500, 30)
+			if !curvesIdentical(a, b) {
+				t.Fatal("profile is not deterministic: two instances diverged")
+			}
+			for i, f := range a {
+				if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+					t.Fatalf("factor at sample %d is %v; must be finite and ≥0", i, f)
+				}
+			}
+		})
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Period: 86400, Amplitude: 0.4}
+	if got := d.Factor(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("factor at t=0 = %v, want 1", got)
+	}
+	if got := d.Factor(86400 / 4); math.Abs(got-1.4) > 1e-9 {
+		t.Fatalf("peak factor = %v, want 1.4", got)
+	}
+	if got := d.Factor(3 * 86400 / 4); math.Abs(got-0.6) > 1e-9 {
+		t.Fatalf("trough factor = %v, want 0.6", got)
+	}
+	// One full period later the curve repeats (up to sin rounding).
+	if math.Abs(d.Factor(1234)-d.Factor(1234+86400)) > 1e-9 {
+		t.Fatal("diurnal cycle must be periodic")
+	}
+}
+
+func TestFlashCrowdShape(t *testing.T) {
+	f := FlashCrowd{At: 600, Duration: 900, Magnitude: 3, Ramp: 60}
+	if got := f.Factor(0); got != 1 {
+		t.Fatalf("pre-spike factor = %v, want 1", got)
+	}
+	if got := f.Factor(630); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("mid-ramp factor = %v, want 2", got)
+	}
+	if got := f.Factor(1000); got != 3 {
+		t.Fatalf("plateau factor = %v, want 3", got)
+	}
+	if got := f.Factor(600 + 60 + 900 + 60 + 1); got != 1 {
+		t.Fatalf("post-spike factor = %v, want 1", got)
+	}
+	// Permanent regime change: Duration ≤ 0 never ramps down.
+	perm := FlashCrowd{At: 100, Magnitude: 2}
+	if got := perm.Factor(1e9); got != 2 {
+		t.Fatalf("permanent crowd factor = %v, want 2", got)
+	}
+}
+
+func TestSquallSeedSelectsSpikeTrain(t *testing.T) {
+	a := goldenCurve(Squall{Window: 300, Prob: 0.2, Magnitude: 2, Seed: 1}, 2000, 300)
+	b := goldenCurve(Squall{Window: 300, Prob: 0.2, Magnitude: 2, Seed: 2}, 2000, 300)
+	if curvesIdentical(a, b) {
+		t.Fatal("different seeds produced identical spike trains")
+	}
+	spikes := 0
+	for _, f := range a {
+		if f != 1 && f != 2 {
+			t.Fatalf("squall factor %v outside {1, magnitude}", f)
+		}
+		if f == 2 {
+			spikes++
+		}
+	}
+	// ~20% of 2000 windows; loose bounds, but zero or all would mean
+	// the hash is broken.
+	if spikes < 200 || spikes > 600 {
+		t.Fatalf("spike count %d implausible for prob 0.2 over 2000 windows", spikes)
+	}
+}
+
+func TestParseDriftRoundTrip(t *testing.T) {
+	specs := []string{
+		"flash:at=600,dur=900,mag=3,ramp=60",
+		"diurnal:period=3600,amp=0.4,phase=0",
+		"trend:slope=0.0001",
+		"squall:window=300,prob=0.05,mag=2,seed=7",
+		"diurnal:period=3600,amp=0.3,phase=0;flash:at=600,dur=0,mag=2,ramp=0",
+	}
+	for _, spec := range specs {
+		p, err := ParseDrift(spec)
+		if err != nil {
+			t.Fatalf("ParseDrift(%q): %v", spec, err)
+		}
+		again, err := ParseDrift(p.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", p.String(), spec, err)
+		}
+		if !curvesIdentical(goldenCurve(p, 200, 60), goldenCurve(again, 200, 60)) {
+			t.Fatalf("spec %q does not round-trip through String(): %q", spec, p.String())
+		}
+	}
+	if p, err := ParseDrift(""); err != nil || p != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", p, err)
+	}
+	if p, err := ParseDrift("none"); err != nil || p != nil {
+		t.Fatalf("\"none\": got (%v, %v), want (nil, nil)", p, err)
+	}
+	for _, bad := range []string{"bogus:x=1", "flash:at", "flash:at=nope", "flash:typo=3"} {
+		if _, err := ParseDrift(bad); err == nil {
+			t.Fatalf("ParseDrift(%q) accepted a malformed spec", bad)
+		}
+	}
+}
+
+func TestDriftingEvalCapsThroughputAtOfferedLoad(t *testing.T) {
+	tp := jitterTopo()
+	inner := NewFluidSim(tp, cluster.Small(), SinkTuples, 1)
+	inner.Noise = NoNoise()
+	cfg := DefaultConfig(tp, 2)
+	capacity := inner.Run(cfg, 0).Throughput
+	if capacity <= 0 {
+		t.Fatal("inner capacity must be positive")
+	}
+
+	// Offered load below capacity: delivery is load-bound, no
+	// backpressure.
+	d := Drifting(inner, FlashCrowd{At: 100, Magnitude: 4}, capacity/2)
+	res := d.RunAt(cfg, 0, 0)
+	if res.Throughput != capacity/2 {
+		t.Fatalf("under-loaded delivery %v, want offered %v", res.Throughput, capacity/2)
+	}
+	if res.Backpressured {
+		t.Fatal("under-loaded run must not be backpressured")
+	}
+	if res.OfferedLoad != capacity/2 {
+		t.Fatalf("OfferedLoad %v, want %v", res.OfferedLoad, capacity/2)
+	}
+
+	// After the flash crowd, offered = 2× capacity: delivery is
+	// capacity-bound and backpressured.
+	res = d.RunAt(cfg, 0, 200)
+	if res.Throughput != capacity {
+		t.Fatalf("overloaded delivery %v, want capacity %v", res.Throughput, capacity)
+	}
+	if !res.Backpressured {
+		t.Fatal("overloaded run must be backpressured")
+	}
+	if res.OfferedLoad != 2*capacity {
+		t.Fatalf("OfferedLoad %v, want %v", res.OfferedLoad, 2*capacity)
+	}
+
+	// Run (no timestamp) measures at t=0.
+	if got, want := d.Run(cfg, 0).Throughput, d.RunAt(cfg, 0, 0).Throughput; got != want {
+		t.Fatalf("Run measured %v, want the t=0 measurement %v", got, want)
+	}
+
+	// BaseLoad ≤ 0 disables the cap entirely.
+	plain := Drifting(inner, FlashCrowd{At: 0, Magnitude: 4}, 0)
+	res = plain.RunAt(cfg, 0, 50)
+	if res.Throughput != capacity || res.OfferedLoad != 0 || res.Backpressured {
+		t.Fatalf("BaseLoad=0 must pass the measurement through, got %+v", res)
+	}
+}
+
+func TestDriftingEvalPreservesFailures(t *testing.T) {
+	tp := jitterTopo()
+	inner := NewFluidSim(tp, cluster.Small(), SinkTuples, 1)
+	d := Drifting(inner, nil, 1000)
+	cfg := DefaultConfig(tp, 2)
+	cfg.MaxTasks = 1 // placement failure: cannot seat one task per node
+	res := d.RunAt(cfg, 0, 0)
+	if !res.Failed {
+		t.Skip("configuration unexpectedly placeable; failure pass-through untestable here")
+	}
+	if res.Throughput != 0 || res.Backpressured {
+		t.Fatalf("failed run must keep zero throughput and no backpressure, got %+v", res)
+	}
+}

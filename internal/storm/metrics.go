@@ -62,6 +62,16 @@ type Result struct {
 	Bottleneck string
 	// Tasks is the post-normalization task count.
 	Tasks int
+	// OfferedLoad is the arrival rate the workload offered during the
+	// run, in the same units as Throughput. Zero means the evaluator is
+	// stationary (no drift wrapper) and throughput is capacity-bound
+	// only. When set, Throughput ≤ OfferedLoad: delivered rate is the
+	// minimum of capacity and offered load.
+	OfferedLoad float64 `json:",omitempty"`
+	// Backpressured marks a run whose configuration could not keep up
+	// with the offered load (capacity < offered): tuples queue and the
+	// topology throttles its spouts.
+	Backpressured bool `json:",omitempty"`
 }
 
 // Metric selects which rate a Result reports as Throughput.
@@ -97,4 +107,14 @@ func (m Metric) String() string {
 type Evaluator interface {
 	Run(cfg Config, runIndex int) Result
 	Metric() Metric
+}
+
+// TimedEvaluator is an Evaluator whose measurements depend on *when*
+// they are taken on a simulated timeline: the same configuration
+// measured at different simulated times can see different load.
+// Backends that carry a per-trial simulated timestamp dispatch through
+// RunAt; plain Run measures at t=0.
+type TimedEvaluator interface {
+	Evaluator
+	RunAt(cfg Config, runIndex int, simTime float64) Result
 }

@@ -1,0 +1,41 @@
+package watch
+
+import "sync"
+
+// Clock is the simulated timeline a watch runs against. It implements
+// core.SimClock, so sessions stamp proposed trials with its reading,
+// and it only moves when the controller advances it — one TrialCost
+// per evaluated trial, one HoldInterval per monitoring sample. No
+// wall-clock ever feeds it: a watch replayed from a snapshot sees the
+// exact same timeline, which is what makes continuous tuning
+// deterministic end to end.
+type Clock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+// NewClock starts a clock at the given simulated time (seconds).
+func NewClock(start float64) *Clock { return &Clock{t: start} }
+
+// Now implements core.SimClock.
+func (c *Clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+// Advance moves the clock forward by d seconds and returns the new
+// reading.
+func (c *Clock) Advance(d float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t += d
+	return c.t
+}
+
+// Set jumps the clock to an absolute reading (resume from a snapshot).
+func (c *Clock) Set(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = t
+}

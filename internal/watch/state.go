@@ -1,0 +1,133 @@
+package watch
+
+import (
+	"fmt"
+
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+	"stormtune/internal/topo"
+)
+
+// StateVersion is the current State schema version.
+const StateVersion = 1
+
+// State is a watch frozen at one instant — mid-tune, mid-hold or
+// mid-retune. It embeds the active session's own SessionState when a
+// tuning session is in flight, so Resume replays it through the same
+// ledger machinery ordinary sessions use and the watch continues
+// bit-identically.
+//
+// Incumbent and History always hold the values the in-flight session
+// was seeded from (the controller installs a new incumbent only after
+// an episode completes), which is exactly what reconstructing the
+// episode's strategy needs.
+type State struct {
+	Version     int                    `json:"version"`
+	Phase       Phase                  `json:"phase"`
+	Clock       float64                `json:"clock"`
+	Episode     int                    `json:"episode"`
+	HoldCount   int                    `json:"holdCount"`
+	RunOffset   int                    `json:"runOffset"`
+	SessionSeed int64                  `json:"sessionSeed"`
+	Incumbent   *core.WarmObservation  `json:"incumbent,omitempty"`
+	History     []core.WarmObservation `json:"history,omitempty"`
+	Monitor     MonitorState           `json:"monitor"`
+	Session     *core.SessionState     `json:"session,omitempty"`
+}
+
+// Snapshot freezes the watch. Safe to call from observer callbacks and
+// other goroutines while Run is in flight.
+func (c *Controller) Snapshot() *State {
+	c.mu.Lock()
+	st := &State{
+		Version:     StateVersion,
+		Phase:       c.phase,
+		Clock:       c.clock.Now(),
+		Episode:     c.episode,
+		HoldCount:   c.holdCount,
+		RunOffset:   c.runOffset,
+		SessionSeed: c.sessSeed,
+		History:     append([]core.WarmObservation(nil), c.history...),
+		Monitor:     c.monitor.State(),
+	}
+	if c.incumbent != nil {
+		inc := *c.incumbent
+		st.Incumbent = &inc
+	}
+	sess := c.sess
+	c.mu.Unlock()
+	if sess != nil {
+		st.Session = sess.Snapshot()
+	}
+	return st
+}
+
+// Resume rebuilds a watch from a State. The topology, spec, template,
+// backend, BO options and watch options are supplied by the caller —
+// like core.ResumeSession, a snapshot carries the progress, not the
+// environment. An embedded session snapshot is replayed through a
+// freshly reconstructed strategy (the initial-tune BO or the episode's
+// retune BO, per the frozen phase), so the resumed watch continues the
+// in-flight session exactly where it stopped.
+func Resume(st *State, t *topo.Topology, spec cluster.Spec, template storm.Config,
+	bk core.Backend, boOpts core.BOOptions, opts Options) (*Controller, error) {
+	if st == nil {
+		return nil, fmt.Errorf("watch: nil state")
+	}
+	if st.Version != StateVersion {
+		return nil, fmt.Errorf("watch: state version %d, want %d", st.Version, StateVersion)
+	}
+	switch st.Phase {
+	case PhaseTune, PhaseHold, PhaseRetune, PhaseDone:
+	default:
+		return nil, fmt.Errorf("watch: unknown phase %q in state", st.Phase)
+	}
+	if st.Phase != PhaseTune && st.Incumbent == nil {
+		return nil, fmt.Errorf("watch: phase %q state has no incumbent", st.Phase)
+	}
+	c := New(t, spec, template, bk, boOpts, opts)
+	c.clock.Set(st.Clock)
+	c.monitor.Restore(st.Monitor)
+	c.mu.Lock()
+	c.phase = st.Phase
+	c.episode = st.Episode
+	c.holdCount = st.HoldCount
+	c.runOffset = st.RunOffset
+	if st.SessionSeed != 0 {
+		c.sessSeed = st.SessionSeed
+	}
+	c.history = append([]core.WarmObservation(nil), st.History...)
+	if st.Incumbent != nil {
+		inc := *st.Incumbent
+		c.incumbent = &inc
+	}
+	c.mu.Unlock()
+	if st.Session != nil {
+		var strat core.Strategy
+		switch st.Phase {
+		case PhaseTune:
+			strat = core.NewBO(t, spec, template, c.seededBO(c.sessSeed))
+		case PhaseRetune:
+			c.mu.Lock()
+			strat = c.retuneStrategyLocked()
+			c.mu.Unlock()
+		default:
+			return nil, fmt.Errorf("watch: phase %q state carries an in-flight session", st.Phase)
+		}
+		// Zero MaxSteps inherits the snapshot's; RunOffset is always
+		// forced to the snapshot's own.
+		sess, err := core.ResumeSession(st.Session, strat, bk, core.SessionOptions{
+			Retry:    opts.Retry,
+			Observer: c.sessionObserver(),
+			Clock:    c.clock,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("watch: resume session: %w", err)
+		}
+		c.mu.Lock()
+		c.sess = sess
+		c.mu.Unlock()
+	}
+	return c, nil
+}

@@ -35,6 +35,10 @@ type (
 	TrialStatus = core.TrialStatus
 	// IncumbentPoint is one point of the best-so-far curve.
 	IncumbentPoint = core.IncumbentPoint
+	// RetunePoint is one retune episode in a Recorder snapshot: the
+	// trigger (sim time, baseline, degraded sample, reason) and, once
+	// the episode finishes, its outcome.
+	RetunePoint = core.RetunePoint
 	// WorkerStats is one backend-pool member's live counters.
 	WorkerStats = core.WorkerStats
 	// Dashboard is the HTTP surface over a Recorder: GET /, /api/state,

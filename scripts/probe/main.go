@@ -2,13 +2,15 @@
 // the CI smoke scripts (scripts/dash-smoke.sh, scripts/fleet-smoke.sh),
 // so CI needs no runtime beyond the Go toolchain that builds the repo.
 //
-//	probe -mode state -file state.json [-topology PREFIX]
+//	probe -mode state -file state.json [-topology PREFIX] [-min-retunes N]
 //	probe -mode fleet -file fleet.json [-sessions N] [-slots N]
 //	      [-all-progressing] [-require-done]
 //
 // state mode checks a single-session /api/state document: the expected
-// fields are present and, with -topology, info.topology has the given
-// prefix.
+// fields are present; with -topology, info.topology has the given
+// prefix; with -min-retunes, the retunes array records at least that
+// many retune episodes (scripts/watch-smoke.sh uses this to assert a
+// continuous-tuning run actually retuned).
 //
 // fleet mode checks an /api/fleet document: with -sessions, exactly
 // that many sessions; with -slots, the advertised capacity equals it;
@@ -44,6 +46,7 @@ func main() {
 	mode := flag.String("mode", "", "state or fleet")
 	file := flag.String("file", "", "path to the JSON document (required)")
 	topology := flag.String("topology", "", "state: require info.topology to have this prefix")
+	minRetunes := flag.Int("min-retunes", 0, "state: require at least this many retune episodes")
 	sessions := flag.Int("sessions", 0, "fleet: require exactly this many sessions")
 	slots := flag.Int("slots", 0, "fleet: require the advertised slot capacity to equal this")
 	allProgressing := flag.Bool("all-progressing", false, "fleet: require every session to have completed ≥ 1 trial")
@@ -60,7 +63,7 @@ func main() {
 
 	switch *mode {
 	case "state":
-		probeState(raw, *topology)
+		probeState(raw, *topology, *minRetunes)
 	case "fleet":
 		probeFleet(raw, *sessions, *slots, *allProgressing, *requireDone)
 	default:
@@ -69,7 +72,7 @@ func main() {
 }
 
 // probeState checks a single-session /api/state document.
-func probeState(raw []byte, topology string) {
+func probeState(raw []byte, topology string, minRetunes int) {
 	var st map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &st); err != nil {
 		fail("/api/state is not a JSON object: %v", err)
@@ -105,7 +108,18 @@ func probeState(raw []byte, topology string) {
 			fail("info.topology = %q, want prefix %q", info.Topology, topology)
 		}
 	}
-	fmt.Printf("api/state: ok (%d trials seen, %d events)\n", len(trials), events)
+	retunes := 0
+	if raw, ok := st["retunes"]; ok {
+		var eps []json.RawMessage
+		if err := json.Unmarshal(raw, &eps); err != nil {
+			fail("/api/state retunes is not an array: %v", err)
+		}
+		retunes = len(eps)
+	}
+	if retunes < minRetunes {
+		fail("/api/state records %d retune episodes, want >= %d", retunes, minRetunes)
+	}
+	fmt.Printf("api/state: ok (%d trials seen, %d events, %d retunes)\n", len(trials), events, retunes)
 }
 
 // fleetDoc mirrors the /api/fleet document shape

@@ -1,0 +1,422 @@
+package stormtune
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"stormtune/internal/bo"
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
+	"stormtune/internal/storm"
+	"stormtune/internal/watch"
+)
+
+// Drifting-workload types re-exported from the storm package.
+type (
+	// DriftProfile shapes offered load over simulated time: Factor(t)
+	// multiplies a base load. Profiles are pure functions of t (and a
+	// fixed seed), so drifting workloads replay bit-identically.
+	DriftProfile = storm.DriftProfile
+	// Diurnal is a sinusoidal day/night cycle.
+	Diurnal = storm.Diurnal
+	// FlashCrowd is a sudden surge: ramp up at At, hold Magnitude for
+	// Duration, ramp back down (Duration 0 = permanent).
+	FlashCrowd = storm.FlashCrowd
+	// Trend is a linear growth or decay of offered load.
+	Trend = storm.Trend
+	// Squall is seeded random load spikes in fixed windows.
+	Squall = storm.Squall
+	// CompositeDrift multiplies several profiles.
+	CompositeDrift = storm.Composite
+	// DriftingEval caps a capacity evaluator's delivery at the offered
+	// load of the measurement's simulated time, reporting OfferedLoad
+	// and Backpressured on every Result.
+	DriftingEval = storm.DriftingEval
+	// TimedEvaluator is an Evaluator whose measurements depend on the
+	// simulated time (RunAt); session backends dispatch to it when the
+	// session carries a clock.
+	TimedEvaluator = storm.TimedEvaluator
+)
+
+// Drifting wraps a capacity evaluator in a time-varying offered load:
+// delivered throughput is min(capacity, baseLoad·profile.Factor(t)).
+// A nil profile means a constant offered load of baseLoad.
+func Drifting(ev Evaluator, profile DriftProfile, baseLoad float64) *DriftingEval {
+	return storm.Drifting(ev, profile, baseLoad)
+}
+
+// ComposeDrift multiplies drift profiles into one.
+func ComposeDrift(parts ...DriftProfile) DriftProfile { return storm.Compose(parts...) }
+
+// ParseDrift parses a drift spec like
+// "diurnal:period=86400,amplitude=0.4;flash:at=3600,magnitude=2"
+// (the -drift flag syntax); empty and "none" mean no drift.
+func ParseDrift(spec string) (DriftProfile, error) { return storm.ParseDrift(spec) }
+
+// Continuous-tuning types re-exported from the watch and core packages.
+type (
+	// MonitorOptions tune the degradation monitor: rolling-baseline
+	// window, degrade factor, sustain counts (hysteresis), cooldown.
+	MonitorOptions = watch.MonitorOptions
+	// RetuneOptions bound the conservative retune search: a trust
+	// region around the incumbent that widens after consecutive
+	// improvements and shrinks on regressions.
+	RetuneOptions = core.RetuneOptions
+	// HoldSampled reports one monitoring measurement of the incumbent
+	// while a watch holds.
+	HoldSampled = core.HoldSampled
+	// RetuneTriggered reports the degradation monitor firing: a retune
+	// episode begins.
+	RetuneTriggered = core.RetuneTriggered
+	// RetuneCompleted reports a retune episode's outcome.
+	RetuneCompleted = core.RetuneCompleted
+)
+
+// WatchOptions configure a continuous-tuning session.
+type WatchOptions struct {
+	// Steps is the initial tuning session's budget (default 40);
+	// RetuneSteps each retune episode's (default max(8, Steps/4)).
+	Steps       int
+	RetuneSteps int
+	// Set selects the searched parameters (default Hints).
+	Set ParamSet
+	// Template supplies the non-searched parameters; zero value uses
+	// the paper's deployment defaults with hint 1.
+	Template *Config
+	// Cluster defaults to the paper's 80-machine cluster.
+	Cluster *ClusterSpec
+	// Seed drives the optimizers: the initial tune uses it directly,
+	// retune episode e uses Seed+e (default 1).
+	Seed int64
+	// TrialCost is the simulated seconds one trial evaluation costs
+	// (default 60); HoldInterval the simulated seconds between
+	// monitoring samples (default 60).
+	TrialCost    float64
+	HoldInterval float64
+	// Horizon stops the watch when the simulated clock reaches it
+	// (0 = run until ctx cancel or MaxEpisodes); MaxEpisodes stops it
+	// after that many retune episodes (0 = unlimited).
+	Horizon     float64
+	MaxEpisodes int
+	// Monitor tunes the degradation monitor; Retune bounds the
+	// conservative search.
+	Monitor MonitorOptions
+	Retune  RetuneOptions
+	// Retry governs lost evaluations, exactly as in TunerOptions.
+	Retry RetryPolicy
+	// Observer receives the full event stream: session events plus
+	// HoldSampled, RetuneTriggered and RetuneCompleted.
+	Observer Observer
+	// Recorder, when set, also receives every event and accumulates
+	// the dashboard state — retune episodes appear in its snapshot's
+	// Retunes list and as SSE markers.
+	Recorder *Recorder
+	// Snapshot, with SnapshotEvery > 0, receives a periodic WatchState
+	// every SnapshotEvery completed trials or monitoring samples.
+	Snapshot      func(*WatchState)
+	SnapshotEvery int
+	// Throttle paces monitoring samples in wall-clock time so a live
+	// dashboard is watchable; zero runs the simulated timeline flat
+	// out. Pacing only — no tuning decision reads the wall clock.
+	Throttle time.Duration
+
+	// Optimizer knobs, as in TunerOptions.
+	Candidates       int
+	HyperSamples     int
+	LocalSearchIters int
+	MaxGPPoints      int
+}
+
+func (o WatchOptions) boOptions() BOOptions {
+	return BOOptions{
+		Set:  o.Set,
+		Seed: o.Seed,
+		Opt: bo.Options{
+			Candidates:       o.Candidates,
+			HyperSamples:     o.HyperSamples,
+			LocalSearchIters: o.LocalSearchIters,
+			MaxGPPoints:      o.MaxGPPoints,
+		},
+	}
+}
+
+func (o WatchOptions) composedObserver() Observer {
+	if o.Recorder == nil {
+		return o.Observer
+	}
+	return core.MultiObserver(o.Recorder, o.Observer)
+}
+
+// Watcher is a tuning session that never ends: tune, hold while a
+// degradation monitor watches the incumbent, conservatively retune
+// when it fires, repeat. Built by NewWatcher (or ResumeWatcher),
+// driven by Run; Snapshot freezes it — mid-retune included — into a
+// serializable WatchState.
+type Watcher struct {
+	c        *watch.Controller
+	opts     WatchOptions
+	topoName string
+	topoN    int
+}
+
+// resolve fills the option defaults shared by NewWatcher and
+// ResumeWatcher.
+func (o WatchOptions) resolve(t *Topology) WatchOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	spec := cluster.Paper()
+	if o.Cluster != nil {
+		spec = *o.Cluster
+	}
+	template := storm.DefaultConfig(t, 1)
+	if o.Template != nil {
+		template = o.Template.Clone()
+	}
+	o.Cluster = &spec
+	o.Template = &template
+	return o
+}
+
+// watchOptions converts the public options into the controller's.
+func (w *Watcher) watchOptions(o WatchOptions) watch.Options {
+	wo := watch.Options{
+		Steps:         o.Steps,
+		RetuneSteps:   o.RetuneSteps,
+		TrialCost:     o.TrialCost,
+		HoldInterval:  o.HoldInterval,
+		Horizon:       o.Horizon,
+		MaxEpisodes:   o.MaxEpisodes,
+		Monitor:       o.Monitor,
+		Retune:        o.Retune,
+		Retry:         o.Retry,
+		Observer:      o.composedObserver(),
+		SnapshotEvery: o.SnapshotEvery,
+		Throttle:      o.Throttle,
+	}
+	if o.Snapshot != nil {
+		hook := o.Snapshot
+		wo.Snapshot = func(st *watch.State) { hook(w.wrapState(st)) }
+	}
+	return wo
+}
+
+// NewWatcher starts a continuous-tuning session for a topology against
+// a backend — typically AsBackend(Drifting(sim, profile, load)) for the
+// simulated cluster, or any Backend whose measurements honor
+// Trial.SimTime.
+func NewWatcher(t *Topology, b Backend, opts WatchOptions) (*Watcher, error) {
+	if t == nil {
+		return nil, fmt.Errorf("stormtune: nil topology")
+	}
+	if b == nil {
+		return nil, fmt.Errorf("stormtune: watch needs a backend")
+	}
+	opts = opts.resolve(t)
+	w := &Watcher{opts: opts, topoName: t.Name, topoN: t.N()}
+	w.c = watch.New(t, *opts.Cluster, *opts.Template, b, opts.boOptions(), w.watchOptions(opts))
+	return w, nil
+}
+
+// Run drives the watch until ctx is cancelled, the horizon is reached,
+// or MaxEpisodes episodes have completed. On cancellation all state
+// stays intact: call Snapshot for a resumable WatchState.
+func (w *Watcher) Run(ctx context.Context) error { return w.c.Run(ctx) }
+
+// Incumbent returns the configuration currently held and its measured
+// objective; ok is false before the initial tune completes.
+func (w *Watcher) Incumbent() (Config, float64, bool) {
+	inc, ok := w.c.Incumbent()
+	return inc.Config, inc.Y, ok
+}
+
+// Episodes returns the number of completed retune episodes.
+func (w *Watcher) Episodes() int { return w.c.Episodes() }
+
+// SimTime returns the watch's current simulated time in seconds.
+func (w *Watcher) SimTime() float64 { return w.c.Clock().Now() }
+
+// WatchState is the serializable snapshot of a Watcher: the
+// environment needed to rebuild the strategies plus the controller's
+// frozen progress (phase, clock, incumbent, monitor, and — when taken
+// mid-tune or mid-retune — the in-flight session's own state).
+type WatchState struct {
+	Version          int            `json:"version"`
+	Topology         string         `json:"topology"`
+	Nodes            int            `json:"nodes"`
+	Set              ParamSet       `json:"set"`
+	Seed             int64          `json:"seed"`
+	Steps            int            `json:"steps"`
+	RetuneSteps      int            `json:"retuneSteps,omitempty"`
+	TrialCost        float64        `json:"trialCost,omitempty"`
+	HoldInterval     float64        `json:"holdInterval,omitempty"`
+	Horizon          float64        `json:"horizon,omitempty"`
+	MaxEpisodes      int            `json:"maxEpisodes,omitempty"`
+	Candidates       int            `json:"candidates,omitempty"`
+	HyperSamples     int            `json:"hyperSamples,omitempty"`
+	LocalSearchIters int            `json:"localSearchIters,omitempty"`
+	MaxGPPoints      int            `json:"maxGPPoints,omitempty"`
+	Template         Config         `json:"template"`
+	Cluster          ClusterSpec    `json:"cluster"`
+	Monitor          MonitorOptions `json:"monitor"`
+	Retune           RetuneOptions  `json:"retune"`
+	Watch            *watch.State   `json:"watch"`
+}
+
+const watchStateVersion = 1
+
+func (w *Watcher) wrapState(st *watch.State) *WatchState {
+	o := w.opts
+	return &WatchState{
+		Version:          watchStateVersion,
+		Topology:         w.topoName,
+		Nodes:            w.topoN,
+		Set:              o.Set,
+		Seed:             o.Seed,
+		Steps:            o.Steps,
+		RetuneSteps:      o.RetuneSteps,
+		TrialCost:        o.TrialCost,
+		HoldInterval:     o.HoldInterval,
+		Horizon:          o.Horizon,
+		MaxEpisodes:      o.MaxEpisodes,
+		Candidates:       o.Candidates,
+		HyperSamples:     o.HyperSamples,
+		LocalSearchIters: o.LocalSearchIters,
+		MaxGPPoints:      o.MaxGPPoints,
+		Template:         *o.Template,
+		Cluster:          *o.Cluster,
+		Monitor:          o.Monitor,
+		Retune:           o.Retune,
+		Watch:            st,
+	}
+}
+
+// Snapshot freezes the watch. Safe to call at any time — from an
+// Observer callback or while Run is in flight.
+func (w *Watcher) Snapshot() *WatchState { return w.wrapState(w.c.Snapshot()) }
+
+// Save writes the snapshot as JSON.
+func (s *WatchState) Save(wr io.Writer) error {
+	enc := json.NewEncoder(wr)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SaveFile writes the snapshot to path, creating or truncating it.
+func (s *WatchState) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.Save(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadWatchState reads a snapshot from r.
+func LoadWatchState(r io.Reader) (*WatchState, error) {
+	var s WatchState
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("stormtune: decoding watch state: %w", err)
+	}
+	if s.Version != watchStateVersion {
+		return nil, fmt.Errorf("stormtune: unsupported watch state version %d", s.Version)
+	}
+	if s.Watch == nil {
+		return nil, fmt.Errorf("stormtune: watch state has no controller state")
+	}
+	return &s, nil
+}
+
+// LoadWatchStateFile reads a snapshot from a file.
+func LoadWatchStateFile(path string) (*WatchState, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadWatchState(f)
+}
+
+// ResumeWatcher rebuilds a watch from a snapshot against the same
+// topology and a backend of the caller's choice. An in-flight session
+// snapshot is replayed against a freshly reconstructed strategy
+// (fingerprint-checked), so the resumed watch continues bit-identically
+// to one that was never interrupted — mid-retune included. opts carries
+// only the non-serializable pieces: Observer, Recorder, Snapshot hook,
+// Throttle and Retry; everything else comes from the snapshot.
+func ResumeWatcher(st *WatchState, t *Topology, b Backend, opts WatchOptions) (*Watcher, error) {
+	if st == nil || st.Watch == nil {
+		return nil, fmt.Errorf("stormtune: nil watch state")
+	}
+	if st.Version != watchStateVersion {
+		return nil, fmt.Errorf("stormtune: unsupported watch state version %d", st.Version)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("stormtune: nil topology")
+	}
+	if t.N() != st.Nodes {
+		return nil, fmt.Errorf("stormtune: topology has %d nodes, snapshot was taken over %d (%s)",
+			t.N(), st.Nodes, st.Topology)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("stormtune: watch needs a backend")
+	}
+	resolved := WatchOptions{
+		Steps:            st.Steps,
+		RetuneSteps:      st.RetuneSteps,
+		Set:              st.Set,
+		Seed:             st.Seed,
+		TrialCost:        st.TrialCost,
+		HoldInterval:     st.HoldInterval,
+		Horizon:          st.Horizon,
+		MaxEpisodes:      st.MaxEpisodes,
+		Monitor:          st.Monitor,
+		Retune:           st.Retune,
+		Candidates:       st.Candidates,
+		HyperSamples:     st.HyperSamples,
+		LocalSearchIters: st.LocalSearchIters,
+		MaxGPPoints:      st.MaxGPPoints,
+		Template:         &st.Template,
+		Cluster:          &st.Cluster,
+		Retry:            opts.Retry,
+		Observer:         opts.Observer,
+		Recorder:         opts.Recorder,
+		Snapshot:         opts.Snapshot,
+		SnapshotEvery:    opts.SnapshotEvery,
+		Throttle:         opts.Throttle,
+	}
+	w := &Watcher{opts: resolved, topoName: st.Topology, topoN: st.Nodes}
+	c, err := watch.Resume(st.Watch, t, st.Cluster, st.Template, b,
+		resolved.boOptions(), w.watchOptions(resolved))
+	if err != nil {
+		return nil, err
+	}
+	w.c = c
+	// Prime the recorder with the in-flight session's history so a
+	// dashboard attached to the resumed watch shows the pre-snapshot
+	// trials.
+	if resolved.Recorder != nil && st.Watch.Session != nil {
+		resolved.Recorder.Prime(st.Watch.Session)
+	}
+	return w, nil
+}
+
+// Watch is the high-level entry point: build a watcher and run it
+// until ctx is cancelled or its horizon/episode budget is spent.
+func Watch(ctx context.Context, t *Topology, b Backend, opts WatchOptions) (*Watcher, error) {
+	w, err := NewWatcher(t, b, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Run(ctx); err != nil {
+		return w, err
+	}
+	return w, nil
+}
