@@ -9,10 +9,10 @@ SHELL := /bin/bash
 # on — one variable, so the two sets cannot diverge (a baseline
 # refreshed from a fuller report must never contain benchmarks the gate
 # run does not produce).
-GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|FleetSchedule|MonitorObserve)$$
+GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|FleetSchedule|MonitorObserve|ArchiveQuery|WarmStartSeed)$$
 GATE_PERCENT = 0.30
 
-.PHONY: build test lint stormlint bench bench-baseline bench-gate dash-smoke fleet-smoke watch-smoke
+.PHONY: build test lint stormlint bench bench-baseline bench-gate dash-smoke fleet-smoke watch-smoke archive-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -69,3 +69,9 @@ fleet-smoke:
 # /api/state and on the SSE stream.
 watch-smoke:
 	./scripts/watch-smoke.sh
+
+# The CI archive smoke test: cold tune with -archive, `stormtune
+# archive list/show`, warm re-tune (warmStarted probed via /api/state),
+# gc of the abandoned record, export/import round trip.
+archive-smoke:
+	./scripts/archive-smoke.sh

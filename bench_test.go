@@ -24,7 +24,10 @@ import (
 	"testing"
 
 	"stormtune"
+	"stormtune/internal/archive"
 	"stormtune/internal/bo"
+	"stormtune/internal/cluster"
+	"stormtune/internal/core"
 	"stormtune/internal/experiments"
 	"stormtune/internal/gp"
 	"stormtune/internal/scheduler"
@@ -310,6 +313,119 @@ func BenchmarkMonitorObserve(b *testing.B) {
 			if _, ok := m.TakeTrigger(); ok {
 				m.Reset()
 			}
+		}
+	}
+}
+
+// BenchmarkArchiveQuery measures one similarity-ranked top-k lookup
+// against a 1000-session archive — the query a warm-started session
+// issues at construction time, scanning every record's feature vector
+// (exact fingerprint matches ranked first, then weighted feature
+// distance). Gated against BENCH_baseline.json by cmd/benchcmp.
+func BenchmarkArchiveQuery(b *testing.B) {
+	store := archive.NewMem()
+	cfg := storm.Config{Hints: []int{4, 4, 4, 4}, BatchSize: 50, BatchParallelism: 8, WorkerThreads: 8, ReceiverThreads: 1}
+	for i := 0; i < 1000; i++ {
+		meta := archive.SessionMeta{
+			Key:         fmt.Sprintf("s%04d", i),
+			Fingerprint: uint64(1 + i%97), // a handful of exact matches per fingerprint
+			Topology:    "bench",
+			Strategy:    "bo",
+			Seed:        int64(i),
+			Features: archive.Features{
+				Nodes: 4 + i%32, Spouts: 1 + i%3, Edges: 6 + i%40,
+				Depth: 2 + i%8, FanOut: 1 + i%5, TIIMClass: i % 4,
+				Contention: float64(i%10) / 10, Machines: 8, Slots: 16,
+			},
+		}
+		if err := store.Begin(meta); err != nil {
+			b.Fatal(err)
+		}
+		if err := store.Append(meta.Key,
+			archive.TrialRecord{Step: 1, Config: cfg, Y: float64(i)},
+			archive.TrialRecord{Step: 2, Config: cfg, Y: float64(i) * 1.1},
+		); err != nil {
+			b.Fatal(err)
+		}
+	}
+	target := archive.Features{
+		Nodes: 10, Spouts: 2, Edges: 14, Depth: 4, FanOut: 3,
+		TIIMClass: 1, Contention: 0.2, Machines: 8, Slots: 16,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rs := archive.Query(store, 50, target, 5); len(rs) != 5 {
+			b.Fatalf("got %d ranked results, want 5", len(rs))
+		}
+	}
+}
+
+// BenchmarkWarmStartSeed measures computing one transfer seed — the
+// archive query, donor filtering, warm-point projection and prior
+// training-set assembly a warm-started tuner performs once at
+// construction — against an archive holding 8 same-fingerprint donors
+// of 60 trials each plus 200 dissimilar sessions. Gated against
+// BENCH_baseline.json by cmd/benchcmp.
+func BenchmarkWarmStartSeed(b *testing.B) {
+	top := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+	spec := cluster.Small()
+	template := storm.DefaultSyntheticConfig(top, 1)
+	store := archive.NewMem()
+	rng := rand.New(rand.NewSource(4))
+
+	// Same-fingerprint donors: archived evidence the transfer must rank
+	// first, project into the unit cube and z-score for the prior.
+	feats := archive.Extract(top, spec)
+	for d := 0; d < 8; d++ {
+		meta := archive.SessionMeta{
+			Key: fmt.Sprintf("donor-%d", d), Fingerprint: top.Fingerprint(),
+			Topology: top.Name, Strategy: "bo", Set: int(core.Hints),
+			Seed: int64(d), Features: feats,
+		}
+		if err := store.Begin(meta); err != nil {
+			b.Fatal(err)
+		}
+		for s := 1; s <= 60; s++ {
+			cfg := template
+			cfg.Hints = make([]int, top.N())
+			for j := range cfg.Hints {
+				cfg.Hints[j] = 1 + rng.Intn(64)
+			}
+			if err := store.Append(meta.Key,
+				archive.TrialRecord{Step: s, Config: cfg, Y: 1000 + 500*rng.Float64()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := store.Seal(meta.Key, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Dissimilar background sessions the query has to scan past.
+	for i := 0; i < 200; i++ {
+		meta := archive.SessionMeta{
+			Key: fmt.Sprintf("other-%d", i), Fingerprint: uint64(1_000_000 + i),
+			Topology: "other", Strategy: "bo", Set: int(core.Hints), Seed: int64(i),
+			Features: archive.Features{
+				Nodes: 3 + i%40, Spouts: 1, Edges: 4 + i%50, Depth: 2 + i%10,
+				FanOut: 1 + i%6, TIIMClass: i % 4, Contention: float64(i%7) / 7,
+				Machines: 4, Slots: 8,
+			},
+		}
+		if err := store.Begin(meta); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	bs := core.NewBO(top, spec, template, core.BOOptions{
+		Seed: 99, Opt: bo.Options{Candidates: 150, HyperSamples: 2, LocalSearchIters: 4},
+	})
+	meta := core.SessionMetaFor("self", top, spec, "bo", core.Hints, 99)
+	ws := core.WarmStartOptions{Enabled: true, Prior: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		seed := core.ComputeTransfer(bs, store, meta, ws)
+		if seed == nil || !seed.Exact || len(seed.Points) == 0 {
+			b.Fatalf("transfer seed = %+v, want an exact-donor warm start", seed)
 		}
 	}
 }

@@ -1,0 +1,214 @@
+// The archive subcommand: inspect and maintain a session archive —
+// the persistent store `-archive DIR` runs record into and warm-start
+// from.
+//
+//	stormtune archive list -archive DIR
+//	stormtune archive show <fingerprint> -archive DIR [-k N]
+//	stormtune archive gc -archive DIR
+//	stormtune archive export -archive DIR [-o file]
+//	stormtune archive import -archive DIR [-i file]
+//
+// list prints every archived session (key, topology, fingerprint,
+// strategy, seed, trials, sealed, best throughput). show takes a
+// topology fingerprint — the 16-hex-digit value list prints — and
+// details every session archived under it, including its top
+// configurations. gc compacts the on-disk log, dropping deleted
+// records and orphaned trial data. export writes the whole archive as
+// JSON lines to stdout (or -o); import merges such an export into the
+// archive, skipping keys that already exist — the transport for moving
+// tuning evidence between machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"stormtune"
+)
+
+func runArchive(args []string) {
+	if len(args) == 0 {
+		archiveUsage()
+		os.Exit(2)
+	}
+	verb, rest := args[0], args[1:]
+	switch verb {
+	case "list":
+		runArchiveList(rest)
+	case "show":
+		runArchiveShow(rest)
+	case "gc":
+		runArchiveGC(rest)
+	case "export":
+		runArchiveExport(rest)
+	case "import":
+		runArchiveImport(rest)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown archive command %q\n", verb)
+		archiveUsage()
+		os.Exit(2)
+	}
+}
+
+func archiveUsage() {
+	fmt.Fprintln(os.Stderr, `usage: stormtune archive <command> -archive DIR
+commands:
+  list                  list archived sessions
+  show <fingerprint>    detail the sessions archived under a topology fingerprint
+  gc                    compact the on-disk log
+  export [-o file]      write the archive as JSON lines
+  import [-i file]      merge an exported archive`)
+}
+
+// openArchiveFlag parses the verb's flags (every verb takes -archive
+// DIR) and opens the store; extra registers verb-specific flags first.
+func openArchiveFlag(verb string, args []string, extra func(*flag.FlagSet)) (*stormtune.DiskArchive, *flag.FlagSet) {
+	fs := flag.NewFlagSet("stormtune archive "+verb, flag.ExitOnError)
+	dir := fs.String("archive", "", "session archive directory (required)")
+	if extra != nil {
+		extra(fs)
+	}
+	fs.Parse(args)
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "error: -archive is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+	arch, err := stormtune.OpenArchive(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	return arch, fs
+}
+
+func runArchiveList(args []string) {
+	arch, _ := openArchiveFlag("list", args, nil)
+	defer arch.Close()
+	keys := arch.Keys()
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		fmt.Println("archive is empty")
+		return
+	}
+	fmt.Printf("%-40s %-10s %16s %-8s %6s %7s %7s %14s\n",
+		"key", "topology", "fingerprint", "strategy", "seed", "trials", "sealed", "best")
+	for _, k := range keys {
+		rec, ok := arch.Get(k)
+		if !ok {
+			continue
+		}
+		best := "-"
+		if b, found := rec.Best(); found {
+			best = fmt.Sprintf("%.0f", b.Y)
+		}
+		fmt.Printf("%-40s %-10s %016x %-8s %6d %7d %7v %14s\n",
+			rec.Meta.Key, rec.Meta.Topology, rec.Meta.Fingerprint, rec.Meta.Strategy,
+			rec.Meta.Seed, len(rec.Trials), rec.Sealed, best)
+	}
+}
+
+func runArchiveShow(args []string) {
+	var fpArg string
+	// The fingerprint may come before or after the flags.
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		fpArg, args = args[0], args[1:]
+	}
+	var topK *int
+	arch, fs := openArchiveFlag("show", args, func(fs *flag.FlagSet) {
+		topK = fs.Int("k", 3, "top configurations to print per session")
+	})
+	defer arch.Close()
+	if fpArg == "" && fs.NArg() > 0 {
+		fpArg = fs.Arg(0)
+	}
+	if fpArg == "" {
+		fmt.Fprintln(os.Stderr, "error: show needs a topology fingerprint (as printed by `stormtune archive list`)")
+		os.Exit(2)
+	}
+	fp, err := strconv.ParseUint(fpArg, 16, 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad fingerprint %q: %w", fpArg, err))
+	}
+
+	keys := arch.Keys()
+	sort.Strings(keys)
+	shown := 0
+	for _, k := range keys {
+		rec, ok := arch.Get(k)
+		if !ok || rec.Meta.Fingerprint != fp {
+			continue
+		}
+		shown++
+		fmt.Printf("%s\n", rec.Meta.Key)
+		fmt.Printf("  topology:  %s (%016x), strategy %s, seed %d\n",
+			rec.Meta.Topology, rec.Meta.Fingerprint, rec.Meta.Strategy, rec.Meta.Seed)
+		fmt.Printf("  features:  %d nodes, depth %d, fan-out %d\n",
+			rec.Meta.Features.Nodes, rec.Meta.Features.Depth, rec.Meta.Features.FanOut)
+		fmt.Printf("  trials:    %d (sealed: %v)\n", len(rec.Trials), rec.Sealed)
+		for i, tr := range rec.TopK(*topK) {
+			fmt.Printf("  top %d:     step %d, %.0f tuples/s, hints %v\n",
+				i+1, tr.Step, tr.Y, tr.Config.NormalizedHints())
+		}
+	}
+	if shown == 0 {
+		fmt.Printf("no archived sessions for fingerprint %016x\n", fp)
+		os.Exit(1)
+	}
+}
+
+func runArchiveGC(args []string) {
+	arch, _ := openArchiveFlag("gc", args, nil)
+	defer arch.Close()
+	dropped, err := arch.GC()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("gc: %d record(s) dropped, %d session(s) kept\n", dropped, len(arch.Keys()))
+}
+
+func runArchiveExport(args []string) {
+	var out *string
+	arch, _ := openArchiveFlag("export", args, func(fs *flag.FlagSet) {
+		out = fs.String("o", "", "write to this file instead of stdout")
+	})
+	defer arch.Close()
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := stormtune.ExportArchive(arch, w); err != nil {
+		fatal(err)
+	}
+}
+
+func runArchiveImport(args []string) {
+	var in *string
+	arch, _ := openArchiveFlag("import", args, func(fs *flag.FlagSet) {
+		in = fs.String("i", "", "read from this file instead of stdin")
+	})
+	defer arch.Close()
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	n, err := stormtune.ImportArchive(arch, r)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("imported %d session(s)\n", n)
+}

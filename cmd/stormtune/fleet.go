@@ -3,7 +3,14 @@
 //
 //	stormtune fleet -manifest fleet.json [-dash ADDR] [-slots N]
 //	                [-timeout D] [-retries N] [-retry-backoff D]
-//	                [-trial-timeout D] [-quiet]
+//	                [-trial-timeout D] [-archive DIR] [-quiet]
+//
+// -archive DIR gives every session one shared session archive: each
+// records its trials there, warm-starts from sufficiently similar
+// archived evidence, and — because the archive is shared — a new best
+// found by one member re-ranks its siblings' warm-start pools mid-run
+// (incumbent sharing). The records seal when the fleet finishes
+// cleanly.
 //
 // The manifest is a small JSON document naming the shared workers and
 // the sessions to run over them:
@@ -98,6 +105,20 @@ func loadManifest(path string) (*fleetManifest, error) {
 	}
 	if len(m.Sessions) == 0 {
 		return nil, fmt.Errorf("manifest %s: no sessions", path)
+	}
+	// Duplicate names are rejected here, at load time: a later session
+	// with the same name would silently shadow the earlier one's result
+	// key and dashboard path. Defaulted (empty) names are checked after
+	// they are derived, in prepareSessions.
+	names := make(map[string]bool, len(m.Sessions))
+	for _, s := range m.Sessions {
+		if s.Name == "" {
+			continue
+		}
+		if names[s.Name] {
+			return nil, fmt.Errorf("manifest %s: duplicate session name %q", path, s.Name)
+		}
+		names[s.Name] = true
 	}
 	return &m, nil
 }
@@ -207,6 +228,7 @@ func runFleet(args []string) {
 	retryBackoff := fs.Duration("retry-backoff", time.Second, "wait before a trial's first retry (doubles per attempt)")
 	trialTimeout := fs.Duration("trial-timeout", 0, "deadline per evaluation attempt (0 = none)")
 	dashAddr := fs.String("dash", "", "serve the aggregated fleet dashboard on this address (e.g. :8090)")
+	archiveDir := fs.String("archive", "", "record every session into the shared archive at DIR, warm-start from it, and share incumbents across members mid-run")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	fs.Parse(args)
 
@@ -266,6 +288,22 @@ func runFleet(args []string) {
 	}
 	for _, p := range prepared {
 		totalSteps += p.steps
+	}
+
+	// One shared archive for the whole fleet: every member records into
+	// it, warm-starts from it, and shares new incumbents with its
+	// siblings mid-run.
+	var arch *stormtune.DiskArchive
+	if *archiveDir != "" {
+		arch, err = stormtune.OpenArchive(*archiveDir)
+		if err != nil {
+			fatal(fmt.Errorf("archive: %w", err))
+		}
+		defer arch.Close()
+		for i := range prepared {
+			prepared[i].opts.Archive = arch
+			prepared[i].opts.WarmStart = stormtune.WarmStartOptions{Enabled: true, Prior: true}
+		}
 	}
 
 	retry := stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
@@ -334,8 +372,16 @@ func runFleet(args []string) {
 			fatal(fmt.Errorf("session %q: %w", p.name, err))
 		}
 		fleetMembers[i] = stormtune.FleetMember{Name: p.name, Tuner: tn, Weight: p.weight}
+		if arch != nil && !*quiet {
+			if ts := tn.Transfer(); ts != nil {
+				fmt.Printf("%s: warm start from %s (similarity %.2f)\n", p.name, ts.Donor, ts.Similarity)
+			} else {
+				fmt.Printf("%s: cold start\n", p.name)
+			}
+		}
 	}
-	fleet, err := stormtune.NewFleet(stormtune.FleetOptions{Slots: slots}, fleetMembers...)
+	fleet, err := stormtune.NewFleet(
+		stormtune.FleetOptions{Slots: slots, ShareIncumbents: arch != nil}, fleetMembers...)
 	if err != nil {
 		fatal(err)
 	}
@@ -404,6 +450,13 @@ func runFleet(args []string) {
 	if err != nil {
 		fmt.Printf("fleet stopped early after %s (%v); reporting best so far\n",
 			time.Since(start).Round(time.Millisecond), err)
+	}
+	// Seal only on a clean finish — a cancelled fleet leaves its
+	// records unsealed so a re-run can append to the same evidence.
+	if arch != nil && err == nil {
+		if serr := stormtune.SealFleetArchives(fleetMembers...); serr != nil {
+			fmt.Fprintln(os.Stderr, "archive seal:", serr)
+		}
 	}
 
 	// Per-session summary, in manifest order; the fleet-wide best last.

@@ -9,7 +9,7 @@
 //	          [-async] [-timeout D] [-params h|h-bs-bp|bs-bp-cc]
 //	          [-tiim X] [-contention X] [-samples K] [-seed N] [-quiet]
 //	          [-remote URL[,URL...]] [-retries N] [-retry-backoff D]
-//	          [-trial-timeout D] [-dash ADDR]
+//	          [-trial-timeout D] [-dash ADDR] [-archive DIR]
 //
 // The run is a tuning session: -timeout bounds its wall-clock (the best
 // configuration found so far is reported when the deadline hits, and
@@ -24,6 +24,16 @@
 // measurements — timeouts, dropped connections, killed workers — are
 // retried per -retries/-retry-backoff before the trial is recorded as
 // a pessimistic failure; -trial-timeout bounds each attempt.
+//
+// -archive DIR records the run into the persistent session archive at
+// DIR and, when the archive already holds evidence from a sufficiently
+// similar topology, warm-starts the Bayesian optimizer from it: prior
+// incumbents replace part of the initial Latin-hypercube design and an
+// archived-runs prior shapes the GP mean. The dashboard state reports
+// whether the run was warm-started and by which donor. Inspect the
+// archive with `stormtune archive` (see archive.go):
+//
+//	stormtune archive list|show <fingerprint>|gc|export|import -archive DIR
 //
 // -dash ADDR serves a live dashboard for the duration of the run: an
 // HTML page at /, the full JSON state at /api/state, a Server-Sent
@@ -62,7 +72,7 @@
 //	                [-horizon S] [-trial-cost S] [-hold-interval S]
 //	                [-cooldown S] [-throttle D] [-dash ADDR]
 //	                [-snapshot file.json] [-snapshot-every N]
-//	                [-resume file.json] [-quiet]
+//	                [-resume file.json] [-archive DIR] [-quiet]
 //
 // watch is a tuning session that never ends: it tunes the topology,
 // then holds — monitoring the incumbent on a simulated timeline while
@@ -103,6 +113,9 @@ func main() {
 			return
 		case "watch":
 			runWatch(args[1:])
+			return
+		case "archive":
+			runArchive(args[1:])
 			return
 		case "tune":
 			args = args[1:]
@@ -288,6 +301,7 @@ func runTune(args []string) {
 	retryBackoff := fs.Duration("retry-backoff", time.Second, "wait before a trial's first retry (doubles per attempt)")
 	trialTimeout := fs.Duration("trial-timeout", 0, "deadline per evaluation attempt (0 = none)")
 	dashAddr := fs.String("dash", "", "serve a live dashboard on this address (e.g. :8090) for the duration of the run")
+	archiveDir := fs.String("archive", "", "record the run into the session archive at DIR and warm-start from similar archived runs")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	fs.Parse(args)
 
@@ -414,9 +428,32 @@ func runTune(args []string) {
 		opts.Recorder = stormtune.NewRecorder()
 	}
 
+	// The session archive: the run records into it as trials complete,
+	// and warm-starts from archived evidence when a sufficiently
+	// similar donor exists (BO strategies only; the seal happens inside
+	// the tuner on a clean finish).
+	if *archiveDir != "" {
+		arch, err := stormtune.OpenArchive(*archiveDir)
+		if err != nil {
+			fatal(fmt.Errorf("archive: %w", err))
+		}
+		defer arch.Close()
+		opts.Archive = arch
+		opts.WarmStart = stormtune.WarmStartOptions{Enabled: true, Prior: true}
+	}
+
 	tn, err := stormtune.NewTuner(t, backend, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *archiveDir != "" {
+		if ts := tn.Transfer(); ts != nil {
+			fmt.Printf("warm start: donor %s (similarity %.2f, %d seed configs)\n",
+				ts.Donor, ts.Similarity, len(ts.Points))
+		} else {
+			fmt.Println("cold start: no sufficiently similar archived session")
+		}
+		fmt.Printf("archiving as %s\n", tn.ArchiveKey())
 	}
 
 	dispatch := "sequential"

@@ -35,6 +35,7 @@ func runWatch(args []string) {
 	cooldown := fs.Float64("cooldown", 0, "minimum simulated seconds between retune triggers")
 	throttle := fs.Duration("throttle", 0, "wall-clock pacing per monitoring sample (0 = run the timeline flat out)")
 	dashAddr := fs.String("dash", "", "serve a live dashboard on this address (e.g. :8090) for the duration of the watch")
+	archiveDir := fs.String("archive", "", "record completed trials into the session archive at DIR (evidence for later warm starts)")
 	snapshotPath := fs.String("snapshot", "", "persist periodic watch snapshots to this file")
 	snapshotEvery := fs.Int("snapshot-every", 10, "snapshot every N completed trials or monitoring samples (with -snapshot)")
 	resumePath := fs.String("resume", "", "resume from a watch snapshot file")
@@ -112,6 +113,18 @@ func runWatch(args []string) {
 	if *dashAddr != "" {
 		opts.Recorder = stormtune.NewRecorder()
 	}
+	// The session archive: the watch records every completed trial —
+	// initial tune and retune episodes alike — as evidence for later
+	// warm starts. A watch never warm-starts itself; its retunes are
+	// trust-region moves around the live incumbent.
+	if *archiveDir != "" {
+		arch, err := stormtune.OpenArchive(*archiveDir)
+		if err != nil {
+			fatal(fmt.Errorf("archive: %w", err))
+		}
+		defer arch.Close()
+		opts.Archive = arch
+	}
 	if *snapshotPath != "" {
 		path := *snapshotPath
 		opts.SnapshotEvery = *snapshotEvery
@@ -142,6 +155,9 @@ func runWatch(args []string) {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *archiveDir != "" {
+		fmt.Printf("archiving as %s\n", w.ArchiveKey())
 	}
 
 	var dashStop context.CancelFunc

@@ -234,6 +234,49 @@
 // the same episode sequence and a WatchState snapshot taken mid-retune
 // resumes bit-identically (ResumeWatcher).
 //
+// # Transfer learning
+//
+// Every run above starts cold, rediscovering what previous runs over
+// the same (or a similar) topology already learned. A session archive
+// gives runs a memory. OpenArchive opens a persistent, crash-safe
+// store (append-only JSON-lines segments plus an index, fsync on
+// seal; NewMemArchive is the in-memory twin for tests); setting
+// TunerOptions.Archive makes the session append a compact record per
+// completed trial, keyed by the topology's structural fingerprint and
+// a feature vector (component counts, depth, fan-out, TIIM class,
+// contention, cluster dims). Records seal on a clean finish;
+// a run killed mid-flight leaves its record unsealed so ResumeTuner
+// can re-attach and continue appending without ever duplicating a
+// trial.
+//
+// WarmStartOptions (off by default) turns the archived evidence into
+// a head start: donors are ranked exact-fingerprint-first, then by
+// weighted distance over the feature vector, and the best donor's
+// incumbent and top-k configs replace part of the LHS budget —
+// mapped through matching parameter spaces only. With Prior set, the
+// GP additionally fits around a kernel-smoothed prior mean built from
+// the donor's z-scored observations, down-weighted by similarity.
+// Below WarmStartOptions.MinSimilarity the run stays cold, so a
+// dissimilar archive never hurts; for a fixed archive snapshot and
+// seed the warm-started run is bit-identical. Tuner.Transfer reports
+// what was computed, and the Recorder/dashboard surface it as
+// warmStarted, warmDonor and warmSimilarity in /api/state.
+//
+//	arch, _ := stormtune.OpenArchive("arch")
+//	tn, _ := stormtune.NewTuner(t, backend, stormtune.TunerOptions{
+//		Archive:   arch,
+//		WarmStart: stormtune.WarmStartOptions{Enabled: true, Prior: true},
+//	})
+//
+// A Fleet can share one archive: FleetOptions.ShareIncumbents makes a
+// NewBest in one member re-rank its siblings' warm-start pools at
+// their next pass boundary, and SealFleetArchives seals every
+// member's record after a clean fleet run. The CLI wires all of this
+// behind `-archive DIR` on tune, fleet and watch, and `stormtune
+// archive list|show|gc|export|import` inspects and manages the store
+// (gc drops unsealed records nothing will resume; export/import move
+// evidence between archives as JSON lines).
+//
 // # Concurrent trials
 //
 // The paper evaluates one configuration at a time, but a real cluster

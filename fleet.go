@@ -60,6 +60,12 @@ type FleetOptions struct {
 	// at any instant — size it to the shared worker pool's capacity
 	// (e.g. BackendPool.Size()). Values below 1 mean 1.
 	Slots int
+	// ShareIncumbents propagates each member's new-best configuration
+	// to every sibling at report boundaries, re-ranking their
+	// warm-start pools mid-run. Give every member's Tuner the same
+	// TunerOptions.Archive and the fleet's evidence also accumulates in
+	// one shared archive for future warm starts.
+	ShareIncumbents bool
 }
 
 // NewFleet builds a fleet over the given members. Typically every
@@ -81,7 +87,23 @@ func NewFleet(opts FleetOptions, members ...FleetMember) (*Fleet, error) {
 			Recorder:    m.Tuner.opts.Recorder,
 		}
 	}
-	return core.NewFleet(core.FleetOptions{Slots: opts.Slots}, cms...)
+	return core.NewFleet(core.FleetOptions{Slots: opts.Slots, ShareIncumbents: opts.ShareIncumbents}, cms...)
+}
+
+// SealFleetArchives seals every member's archive record after the
+// fleet finished — core.Fleet drives raw sessions and cannot seal for
+// the tuners. Call it once fleet.Run returns without error; members
+// without an archive are skipped.
+func SealFleetArchives(members ...FleetMember) error {
+	for _, m := range members {
+		if m.Tuner == nil {
+			continue
+		}
+		if err := m.Tuner.SealArchive(); err != nil {
+			return fmt.Errorf("stormtune: sealing %q: %w", m.Name, err)
+		}
+	}
+	return nil
 }
 
 // NewFleetDashboard builds the aggregated HTTP dashboard over a fleet:

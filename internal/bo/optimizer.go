@@ -46,6 +46,24 @@ type Options struct {
 	// tuner with baseline configurations (they are only selected when
 	// the model expects improvement there).
 	SeedCandidates [][]float64
+	// WarmStarts are unit-cube points evaluated before the Latin
+	// hypercube, replacing that many points of the InitialDesign budget
+	// (at most InitialDesign of them are used) — the transfer-learning
+	// warm start: prior incumbents get measured first, and the LHS only
+	// fills whatever budget they leave. Runtime-only like Trust: the
+	// session-level snapshot reconstructs them on resume.
+	WarmStarts [][]float64
+	// PriorMean, when set, is an archived-runs prior on the surrogate
+	// mean, in *standardized* objective units (the scale the GP fits
+	// after y-standardization, which is also the scale per-donor
+	// z-scored historical observations live on). It is installed as the
+	// GP's prior mean function. Runtime-only, reconstructed on resume.
+	PriorMean func(u []float64) float64
+	// SharedSeeds are cross-session seed points pushed in mid-run (a
+	// fleet sibling's NewBest); they join the acquisition candidate
+	// pool like SeedCandidates. Install via SetSharedSeeds, which also
+	// re-ranks the unissued initial design. Runtime-only.
+	SharedSeeds [][]float64
 	// Workers bounds the goroutines used to score the acquisition
 	// candidate grid and to refit the per-hyper-sample GPs (default
 	// GOMAXPROCS; 1 forces fully sequential operation). Results are
@@ -181,9 +199,10 @@ func (opt *Optimizer) suggestOne() []float64 {
 	}
 	if len(opt.obs)+len(opt.pending) < opt.Opts.InitialDesign && opt.initNext < opt.Opts.InitialDesign {
 		// The whole design is drawn in one LHS so points are stratified
-		// against each other; hand them out one per call.
+		// against each other; hand them out one per call. Warm-start
+		// points take the front of the queue and shrink the LHS draw.
 		if opt.initQueue == nil {
-			opt.initQueue = sample.LatinHypercube(opt.rng, opt.Opts.InitialDesign, opt.Space.D())
+			opt.initQueue = opt.initialDesign()
 		}
 		u := opt.confine(opt.initQueue[opt.initNext])
 		opt.initNext++
@@ -193,6 +212,79 @@ func (opt *Optimizer) suggestOne() []float64 {
 	u := opt.suggestGP()
 	opt.pending = append(opt.pending, u)
 	return u
+}
+
+// initialDesign builds the initial-design queue: warm-start points
+// first (clamped into the cube, wrong-dimension points dropped), then
+// a Latin hypercube over the remaining InitialDesign budget.
+func (opt *Optimizer) initialDesign() [][]float64 {
+	d := opt.Space.D()
+	var queue [][]float64
+	for _, u := range opt.Opts.WarmStarts {
+		if len(u) != d || len(queue) == opt.Opts.InitialDesign {
+			continue
+		}
+		c := make([]float64, d)
+		for j, v := range u {
+			c[j] = clamp01(v)
+		}
+		queue = append(queue, c)
+	}
+	return append(queue, sample.LatinHypercube(opt.rng, opt.Opts.InitialDesign-len(queue), d)...)
+}
+
+// SetSharedSeeds installs cross-session seed points mid-run: they join
+// every future acquisition candidate pool, and any seed not already
+// issued or observed re-ranks the warm-start pool by taking the next
+// unissued slots of the initial design (or the front of WarmStarts if
+// the design has not been drawn yet). Call between Suggest/Observe
+// turns — the optimizer is not safe for concurrent use.
+func (opt *Optimizer) SetSharedSeeds(us [][]float64) {
+	d := opt.Space.D()
+	clean := make([][]float64, 0, len(us))
+	for _, u := range us {
+		if len(u) != d {
+			continue
+		}
+		c := make([]float64, d)
+		for j, v := range u {
+			c[j] = clamp01(v)
+		}
+		clean = append(clean, c)
+	}
+	opt.Opts.SharedSeeds = clean
+	var fresh [][]float64
+	for _, u := range clean {
+		if !opt.seen(u) {
+			fresh = append(fresh, u)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	if opt.initQueue == nil {
+		opt.Opts.WarmStarts = append(append([][]float64(nil), fresh...), opt.Opts.WarmStarts...)
+		return
+	}
+	for i := opt.initNext; i < len(opt.initQueue) && len(fresh) > 0; i++ {
+		opt.initQueue[i] = fresh[0]
+		fresh = fresh[1:]
+	}
+}
+
+// seen reports whether u was already issued or observed.
+func (opt *Optimizer) seen(u []float64) bool {
+	for _, o := range opt.obs {
+		if sameVec(o.U, u) {
+			return true
+		}
+	}
+	for _, p := range opt.pending {
+		if sameVec(p, u) {
+			return true
+		}
+	}
+	return false
 }
 
 // confine clamps a proposal into the trust region, when one is set.
@@ -227,6 +319,9 @@ func (opt *Optimizer) suggestGP() []float64 {
 	}
 
 	g := gp.New(opt.Opts.Kernel(d), opt.Opts.NoiseVar)
+	// The GP fits standardized objectives, the same scale PriorMean
+	// speaks, so the prior installs directly.
+	g.Prior = opt.Opts.PriorMean
 	if err := g.Fit(xs, ny); err != nil {
 		// Degenerate surrogate: fall back to random exploration.
 		return opt.confine(sample.Uniform(opt.rng, 1, d)[0])
@@ -267,6 +362,7 @@ func (opt *Optimizer) suggestGP() []float64 {
 	cands := sample.Uniform(opt.rng, opt.Opts.Candidates/2, d)
 	cands = append(cands, sample.HaltonSeq(haltonOffset(len(opt.obs)), opt.Opts.Candidates/4, d)...)
 	cands = append(cands, opt.Opts.SeedCandidates...)
+	cands = append(cands, opt.Opts.SharedSeeds...)
 	if bu, _, ok := opt.Best(); ok {
 		for i := 0; i < opt.Opts.Candidates/4; i++ {
 			c := make([]float64, d)

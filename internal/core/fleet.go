@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"stormtune/internal/scheduler"
+	"stormtune/internal/storm"
 )
 
 // FleetMember is one tuning session of a Fleet: a name (the dashboard
@@ -41,6 +43,15 @@ type FleetOptions struct {
 	// at any instant — the shared worker pool's capacity. Values below
 	// 1 mean 1.
 	Slots int
+	// ShareIncumbents propagates each member's new-best configuration
+	// to every sibling at report boundaries: the fleet keeps a ranked
+	// pool of member incumbents (best throughput first) and pushes it
+	// into each sibling's BO strategy as shared candidate seeds — a
+	// NewBest in one member re-ranks the others' warm-start pools
+	// mid-run. Members whose strategy is not BO-based, or whose
+	// parameter space cannot represent a sibling's configuration,
+	// ignore the pool.
+	ShareIncumbents bool
 }
 
 // FleetSessionStatus is one member's entry in a FleetStatus.
@@ -102,6 +113,12 @@ type Fleet struct {
 	finished []bool
 	results  map[string]TuneResult
 	started  bool
+
+	// Incumbent-sharing state; confined to the scheduler loop
+	// goroutine (Done hooks run serialized there), so unlocked.
+	share     bool
+	shareBest []float64
+	shareCfg  []storm.Config
 }
 
 // NewFleet validates the members and builds a fleet. Member names must
@@ -134,11 +151,14 @@ func NewFleet(opts FleetOptions, members ...FleetMember) (*Fleet, error) {
 		slots = 1
 	}
 	return &Fleet{
-		members:  append([]FleetMember(nil), members...),
-		slots:    slots,
-		inflight: make([]int, len(members)),
-		finished: make([]bool, len(members)),
-		results:  make(map[string]TuneResult, len(members)),
+		members:   append([]FleetMember(nil), members...),
+		slots:     slots,
+		inflight:  make([]int, len(members)),
+		finished:  make([]bool, len(members)),
+		results:   make(map[string]TuneResult, len(members)),
+		share:     opts.ShareIncumbents,
+		shareBest: make([]float64, len(members)),
+		shareCfg:  make([]storm.Config, len(members)),
 	}, nil
 }
 
@@ -284,7 +304,13 @@ func (f *Fleet) Run(ctx context.Context) (map[string]TuneResult, error) {
 				defer f.addInFlight(i, -1)
 				return d.run(ctx, tr)
 			},
-			Done:    d.report,
+			Done: func(tr Trial, o dispatchOutcome) bool {
+				ok := d.report(tr, o)
+				if f.share {
+					f.shareIncumbent(i)
+				}
+				return ok
+			},
 			Drained: func() { f.finishMember(i) },
 		}
 	}
@@ -298,6 +324,89 @@ func (f *Fleet) Run(ctx context.Context) (map[string]TuneResult, error) {
 		}
 	}
 	return f.Results(), err
+}
+
+// shareIncumbent runs after member i reported a trial: if the member's
+// best improved, its incumbent configuration joins the fleet pool and
+// every sibling's warm-start seeds are re-ranked (best contributor
+// first, own incumbent excluded — the member's model already holds
+// it). Runs only on the scheduler loop goroutine, after d.report
+// released the session lock, so UpdateStrategy cannot deadlock.
+func (f *Fleet) shareIncumbent(i int) {
+	y, _, ok := f.members[i].Session.BestSoFar()
+	if !ok || y <= f.shareBest[i] {
+		return
+	}
+	var cfg storm.Config
+	var have bool
+	f.members[i].Session.UpdateStrategy(func(st Strategy) {
+		if b, isBO := st.(*BOStrategy); isBO {
+			cfg, have = b.BestConfig()
+		}
+	})
+	if !have {
+		return
+	}
+	f.shareBest[i] = y
+	f.shareCfg[i] = cfg
+
+	order := make([]int, 0, len(f.members))
+	for j := range f.members {
+		if f.shareBest[j] > 0 {
+			order = append(order, j)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.shareBest[order[a]] > f.shareBest[order[b]]
+	})
+	for j := range f.members {
+		pool := make([]storm.Config, 0, len(order))
+		for _, k := range order {
+			if k != j {
+				pool = append(pool, f.shareCfg[k])
+			}
+		}
+		if len(pool) == 0 {
+			continue
+		}
+		f.members[j].Session.UpdateStrategy(func(st Strategy) {
+			if b, isBO := st.(*BOStrategy); isBO {
+				b.SetSharedSeeds(pool)
+			}
+		})
+	}
+}
+
+// SharedPool returns the current ranked incumbent pool as seen by
+// member name (best contributor first, the member's own incumbent
+// excluded). Test/diagnostic helper; meaningful only between report
+// boundaries.
+func (f *Fleet) SharedPool(name string) []storm.Config {
+	idx := -1
+	for j, m := range f.members {
+		if m.Name == name {
+			idx = j
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	order := make([]int, 0, len(f.members))
+	for j := range f.members {
+		if f.shareBest[j] > 0 {
+			order = append(order, j)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return f.shareBest[order[a]] > f.shareBest[order[b]]
+	})
+	var pool []storm.Config
+	for _, k := range order {
+		if k != idx {
+			pool = append(pool, f.shareCfg[k].Clone())
+		}
+	}
+	return pool
 }
 
 // addInFlight adjusts a member's live slot count (Status reads it).

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -223,6 +224,13 @@ type RecorderSnapshot struct {
 	// Retunes lists the continuous-tuning retune episodes observed so
 	// far (empty for plain tuning runs).
 	Retunes []RetunePoint `json:"retunes,omitempty"`
+	// WarmStarted marks a session seeded from the archive; the Warm*
+	// fields identify the donor run (fingerprint in hex) and its
+	// similarity to this session's topology. All zero for cold runs.
+	WarmStarted          bool    `json:"warmStarted,omitempty"`
+	WarmDonor            string  `json:"warmDonor,omitempty"`
+	WarmDonorFingerprint string  `json:"warmDonorFingerprint,omitempty"`
+	WarmSimilarity       float64 `json:"warmSimilarity,omitempty"`
 	// Done reports that a driver finished (pass_completed observed).
 	Done bool `json:"done"`
 }
@@ -236,18 +244,19 @@ type RecorderSnapshot struct {
 // with other observers via MultiObserver, or hand it to the public
 // tuner through TunerOptions.Recorder.
 type Recorder struct {
-	mu      sync.Mutex
-	now     func() time.Time
-	start   time.Time
-	events  []RecordedEvent
-	trials  map[int]*TrialView
-	order   []int
-	curve   []IncumbentPoint
-	best    float64
-	bestID  int
-	retries int
-	retunes []RetunePoint
-	done    bool
+	mu       sync.Mutex
+	now      func() time.Time
+	start    time.Time
+	events   []RecordedEvent
+	trials   map[int]*TrialView
+	order    []int
+	curve    []IncumbentPoint
+	best     float64
+	bestID   int
+	retries  int
+	retunes  []RetunePoint
+	transfer *TransferSeed
+	done     bool
 	// wake is closed and replaced whenever the history grows, so
 	// EventsSince callers can block for the next event without polling.
 	wake chan struct{}
@@ -523,6 +532,19 @@ func (r *Recorder) Prime(st *SessionState) {
 	}
 }
 
+// SetTransfer records the warm start a session applied so the
+// dashboard's /api/state carries the provenance (warmStarted, donor
+// key, donor fingerprint, similarity). A nil seed is a no-op — cold
+// runs stay unmarked.
+func (r *Recorder) SetTransfer(seed *TransferSeed) {
+	if seed == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.transfer = seed
+}
+
 // Snapshot returns the derived state at this instant. The returned
 // slices are copies; callers may keep them.
 func (r *Recorder) Snapshot() RecorderSnapshot {
@@ -539,6 +561,12 @@ func (r *Recorder) Snapshot() RecorderSnapshot {
 		Retries:   r.retries,
 		Retunes:   append([]RetunePoint(nil), r.retunes...),
 		Done:      r.done,
+	}
+	if r.transfer != nil {
+		s.WarmStarted = true
+		s.WarmDonor = r.transfer.Donor
+		s.WarmDonorFingerprint = fmt.Sprintf("%016x", r.transfer.DonorFingerprint)
+		s.WarmSimilarity = r.transfer.Similarity
 	}
 	for _, id := range r.order {
 		tv := *r.trials[id]

@@ -129,6 +129,24 @@ func NewSession(strat Strategy, bk Backend, opts SessionOptions) *Session {
 // Strategy returns the session's strategy.
 func (s *Session) Strategy() Strategy { return s.strat }
 
+// UpdateStrategy runs fn with the strategy under the session lock —
+// the safe way for an outside coordinator (fleet incumbent sharing) to
+// read or adjust a strategy that a concurrent driver is using. fn must
+// not call other session methods.
+func (s *Session) UpdateStrategy(fn func(Strategy)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn(s.strat)
+}
+
+// BestSoFar returns the best successful throughput reported so far and
+// the step that achieved it; ok is false before the first success.
+func (s *Session) BestSoFar() (y float64, step int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.best, s.bestStep, s.bestStep > 0
+}
+
 // emit dispatches events outside the state lock. Callbacks are
 // serialized (obsMu) and a multi-event batch is delivered atomically.
 func (s *Session) emit(evs ...Event) {

@@ -15,10 +15,26 @@ type GP struct {
 	Noise float64 // observation noise variance σ_n²
 	Mean  float64 // constant mean m(x) = Mean
 
+	// Prior, when set, is an explicit prior mean function m₀(x): the GP
+	// models residuals y − m₀(x) around the fitted constant, and
+	// predictions add m₀(xs) back. This is the transfer-learning hook —
+	// a model fit on archived runs biases where the surrogate expects
+	// good objectives before any local data says otherwise. Nil means
+	// m₀ ≡ 0 (the classic constant-mean GP).
+	Prior func(x []float64) float64
+
 	x     [][]float64
 	y     []float64
 	chol  *linalg.Cholesky
 	alpha []float64 // K⁻¹ (y - m)
+}
+
+// prior evaluates the prior mean, zero when unset.
+func (g *GP) prior(x []float64) float64 {
+	if g.Prior == nil {
+		return 0
+	}
+	return g.Prior(x)
 }
 
 // New creates a GP with the given kernel and noise variance. A zero
@@ -34,8 +50,9 @@ func New(k Kernel, noise float64) *GP {
 var ErrNoData = errors.New("gp: no observations")
 
 // Fit conditions the GP on observations (x, y). The constant mean is
-// set to the sample mean of y (empirical-Bayes choice, as Spearmint
-// does before standardizing).
+// set to the sample mean of the prior-mean residuals y − m₀(x)
+// (empirical-Bayes choice, as Spearmint does before standardizing);
+// with no Prior that is simply the sample mean of y.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return ErrNoData
@@ -43,9 +60,11 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 	n := len(x)
 	g.x = x
 	g.y = y
+	resid := make([]float64, n)
 	mean := 0.0
-	for _, v := range y {
-		mean += v
+	for i, v := range y {
+		resid[i] = v - g.prior(x[i])
+		mean += resid[i]
 	}
 	g.Mean = mean / float64(n)
 
@@ -63,9 +82,8 @@ func (g *GP) Fit(x [][]float64, y []float64) error {
 		return err
 	}
 	g.chol = ch
-	resid := make([]float64, n)
-	for i, v := range y {
-		resid[i] = v - g.Mean
+	for i := range resid {
+		resid[i] -= g.Mean
 	}
 	g.alpha = ch.SolveVec(resid)
 	return nil
@@ -78,14 +96,14 @@ func (g *GP) N() int { return len(g.x) }
 // function at xs. The variance excludes observation noise.
 func (g *GP) Predict(xs []float64) (mu, sigma2 float64) {
 	if g.chol == nil {
-		return g.Mean, g.Kern.Eval(xs, xs)
+		return g.prior(xs) + g.Mean, g.Kern.Eval(xs, xs)
 	}
 	n := len(g.x)
 	kstar := make([]float64, n)
 	for i, xi := range g.x {
 		kstar[i] = g.Kern.Eval(xs, xi)
 	}
-	mu = g.Mean + linalg.Dot(kstar, g.alpha)
+	mu = g.prior(xs) + g.Mean + linalg.Dot(kstar, g.alpha)
 	v := g.chol.ForwardSolve(kstar)
 	sigma2 = g.Kern.Eval(xs, xs) - linalg.Dot(v, v)
 	if sigma2 < 0 {
@@ -103,7 +121,7 @@ func (g *GP) LogMarginalLikelihood() float64 {
 	n := float64(len(g.y))
 	resid := make([]float64, len(g.y))
 	for i, v := range g.y {
-		resid[i] = v - g.Mean
+		resid[i] = v - g.prior(g.x[i]) - g.Mean
 	}
 	return -0.5*linalg.Dot(resid, g.alpha) - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
 }
@@ -139,7 +157,7 @@ func (g *GP) SetHypersAndRefit(h []float64) error {
 // Clone returns a GP sharing no mutable state with g. Conditioning data
 // slices are shared (they are never mutated).
 func (g *GP) Clone() *GP {
-	out := &GP{Kern: g.Kern.Clone(), Noise: g.Noise, Mean: g.Mean}
+	out := &GP{Kern: g.Kern.Clone(), Noise: g.Noise, Mean: g.Mean, Prior: g.Prior}
 	if g.x != nil {
 		// Refit to rebuild factorization against the cloned kernel.
 		if err := out.Fit(g.x, g.y); err != nil {

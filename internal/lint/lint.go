@@ -45,6 +45,7 @@ func Analyzers() []*analysis.Analyzer {
 // map-order/emit-under-lock are module-wide correctness rules.
 var DefaultScope = map[string][]string{
 	"norawrand": {
+		"stormtune/internal/archive/...",
 		"stormtune/internal/bo/...",
 		"stormtune/internal/gp/...",
 		"stormtune/internal/sample/...",
@@ -53,6 +54,7 @@ var DefaultScope = map[string][]string{
 		"stormtune/internal/watch/...",
 	},
 	"nowallclock": {
+		"stormtune/internal/archive/...",
 		"stormtune/internal/bo/...",
 		"stormtune/internal/gp/...",
 		"stormtune/internal/linalg/...",

@@ -31,6 +31,7 @@ func TestInScope(t *testing.T) {
 		{"norawrand", "stormtune/internal/gp", false},
 		// Absent or empty scope means the whole module.
 		{"maporder", "stormtune/anything", true},
+		{"maporder", "stormtune/internal/archive", true},
 		{"everywhere", "stormtune/internal/dash", true},
 		{"emptyIsAll", "stormtune/internal/dash", true},
 	}
@@ -65,6 +66,19 @@ func TestSuiteHasFiveAnalyzers(t *testing.T) {
 	for name := range lint.DefaultScope {
 		if !seen[name] {
 			t.Errorf("DefaultScope names unknown analyzer %q", name)
+		}
+	}
+}
+
+// TestArchiveInDefaultScope pins the session-archive coverage: the
+// determinism analyzers must bind internal/archive (similarity
+// ranking and warm-start seeding are decision paths), and the
+// module-wide rules reach it by construction.
+func TestArchiveInDefaultScope(t *testing.T) {
+	for _, name := range []string{"norawrand", "nowallclock", "maporder", "emitnolock"} {
+		a := &analysis.Analyzer{Name: name}
+		if !lint.InScope(lint.DefaultScope, a, "stormtune/internal/archive") {
+			t.Errorf("analyzer %q does not cover stormtune/internal/archive", name)
 		}
 	}
 }

@@ -10,3 +10,10 @@ import (
 func TestFixtures(t *testing.T) {
 	linttest.Run(t, "testdata/src/a", maporder.Analyzer)
 }
+
+// TestArchiveFixture pins the session-archive shape: similarity
+// ranking over a map of archived sessions must collect and sort keys
+// before scoring, never rank straight out of a map range.
+func TestArchiveFixture(t *testing.T) {
+	linttest.Run(t, "testdata/src/archive", maporder.Analyzer)
+}

@@ -1,0 +1,50 @@
+// Package archive exercises maporder against the session-archive
+// shape: a store holds sessions in a map keyed by session key, and
+// similarity ranking must not let that map's iteration order leak
+// into the ranked result — ties between equally similar donors would
+// otherwise resolve differently run to run.
+package archive
+
+import "sort"
+
+// Session mimics archive.SessionRecord: a key plus a similarity
+// score computed against the live run's topology features.
+type Session struct {
+	Key        string
+	Similarity float64
+}
+
+// badRank builds the candidate pool straight out of a map range and
+// hands it back unsorted: the donor picked for warm-starting is then
+// whatever the map yielded first, different run to run.
+func badRank(sessions map[string]float64, minSim float64) []Session {
+	var pool []Session
+	for k, sim := range sessions { // want "append to a slice declared outside the loop"
+		if sim >= minSim {
+			pool = append(pool, Session{Key: k, Similarity: sim})
+		}
+	}
+	return pool
+}
+
+// goodRank is the archive package's actual shape: iterate keys in
+// sorted order first, then score — ties break on the key, which is
+// stable across runs.
+func goodRank(sessions map[string]float64) []Session {
+	keys := make([]string, 0, len(sessions))
+	for k := range sessions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ranked := make([]Session, 0, len(keys))
+	for _, k := range keys {
+		ranked = append(ranked, Session{Key: k, Similarity: sessions[k]})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].Similarity > ranked[j].Similarity
+	})
+	return ranked
+}
+
+var _ = badRank
+var _ = goodRank

@@ -2,6 +2,7 @@ package storm
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"stormtune/internal/cluster"
@@ -217,5 +218,58 @@ func TestDriftingEvalPreservesFailures(t *testing.T) {
 	}
 	if res.Throughput != 0 || res.Backpressured {
 		t.Fatalf("failed run must keep zero throughput and no backpressure, got %+v", res)
+	}
+}
+
+// TestParseDriftErrorPaths pins the failure modes of the -drift spec
+// parser: a typo must fail loudly with a message naming the offending
+// component, never silently run a stationary workload.
+func TestParseDriftErrorPaths(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		// Unknown kinds, including near-misses.
+		{"bogus:x=1", "unknown drift kind"},
+		{"diurnall:amp=0.3", "unknown drift kind"},
+		{"flashflood", "unknown drift kind"},
+		// Malformed key=val pairs.
+		{"flash:at", "malformed pair"},
+		{"flash:at=600,mag", "malformed pair"},
+		{"flash:=3", "unknown keys"},
+		{"flash:at=notanumber", `value for "at"`},
+		// Recognized kind, unrecognized keys.
+		{"flash:typo=3", "unknown keys"},
+		{"diurnal:period=3600,height=0.3", "unknown keys"},
+		// A bad component anywhere in a composite fails the whole spec.
+		{"diurnal:amp=0.3;bogus:x=1", "unknown drift kind"},
+		{"bogus:x=1;diurnal:amp=0.3", "unknown drift kind"},
+	}
+	for _, c := range cases {
+		p, err := ParseDrift(c.spec)
+		if err == nil {
+			t.Errorf("ParseDrift(%q) = %v, want error", c.spec, p)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("ParseDrift(%q) error %q does not mention %q", c.spec, err, c.wantSub)
+		}
+	}
+
+	// Empty segments between separators are tolerated, not errors: the
+	// remaining components still parse, and an all-empty spec is the
+	// stationary nil profile.
+	p, err := ParseDrift("diurnal:amp=0.3;;flash:at=600,mag=2;")
+	if err != nil {
+		t.Fatalf("empty segments must be skipped, got %v", err)
+	}
+	comp, ok := p.(Composite)
+	if !ok || len(comp) != 2 {
+		t.Fatalf("spec with empty segments parsed to %#v, want a 2-part Composite", p)
+	}
+	for _, spec := range []string{";", " ; ; "} {
+		if p, err := ParseDrift(spec); err != nil || p != nil {
+			t.Fatalf("ParseDrift(%q) = (%v, %v), want (nil, nil)", spec, p, err)
+		}
 	}
 }

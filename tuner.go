@@ -126,6 +126,23 @@ type TunerOptions struct {
 	// resumed by supplying an equally fresh Strategy to ResumeTuner.
 	Strategy Strategy
 
+	// Archive, when set, records this session into a persistent store
+	// of tuning evidence: trials append as they complete (off the
+	// propose/report hot path) and the record seals with the final
+	// session state when a driver finishes. Ask/tell callers seal
+	// explicitly via Tuner.SealArchive.
+	Archive Archive
+	// ArchiveKey pins the archive record key; empty derives a
+	// deterministic key from topology fingerprint, strategy and seed
+	// plus a run counter. Resume reuses the snapshotted key.
+	ArchiveKey string
+	// WarmStart enables transfer learning from Archive: prior
+	// incumbents and top configurations of sufficiently similar
+	// archived runs replace part of the initial design, optionally
+	// with an archived-runs prior on the GP mean. Requires Archive and
+	// the built-in Bayesian strategy; off by default.
+	WarmStart WarmStartOptions
+
 	// Optimizer knobs, forwarded to the Bayesian strategy (zero values
 	// select the Spearmint-like defaults). They are recorded in
 	// snapshots so a resumed run rebuilds the exact same optimizer.
@@ -176,6 +193,12 @@ type Tuner struct {
 	// bound is the cluster's concurrent-trial capacity for the template
 	// configuration; RunAsync clamps its q to it.
 	bound int
+	// arec archives completed trials when TunerOptions.Archive is set;
+	// archiveKey is its record key and transfer the applied warm start
+	// (nil for cold runs).
+	arec       *core.ArchiveRecorder
+	archiveKey string
+	transfer   *TransferSeed
 }
 
 // NewTuner starts a tuning session for a topology against a backend —
@@ -213,20 +236,54 @@ func NewTuner(t *Topology, b Backend, opts TunerOptions) (*Tuner, error) {
 	if strat == nil {
 		strat = core.NewBO(t, spec, template, opts.boOptions())
 	}
+
+	// Archive + transfer wiring. The warm start must attach before the
+	// session issues its first suggestion, and the session's own record
+	// must never serve as its donor — so the key is derived, transfer
+	// computed, and only then the record begun.
+	var arec *core.ArchiveRecorder
+	var transfer *TransferSeed
+	archiveKey := ""
+	if opts.Archive != nil {
+		archiveKey = opts.ArchiveKey
+		if archiveKey == "" {
+			archiveKey = deriveArchiveKey(opts.Archive, t.Name, t.Fingerprint(), strat.Name(), opts.Seed)
+		}
+		meta := core.SessionMetaFor(archiveKey, t, spec, strat.Name(), opts.Set, opts.Seed)
+		if bs, ok := strat.(*core.BOStrategy); ok && opts.WarmStart.Enabled {
+			transfer = core.ComputeTransfer(bs, opts.Archive, meta, opts.WarmStart)
+			bs.ApplyTransfer(transfer)
+		}
+		var err error
+		if arec, err = core.NewArchiveRecorder(opts.Archive, meta); err != nil {
+			return nil, fmt.Errorf("stormtune: archive: %w", err)
+		}
+	}
+	if opts.Recorder != nil && transfer != nil {
+		opts.Recorder.SetTransfer(transfer)
+	}
+	observer := opts.composedObserver()
+	if arec != nil {
+		observer = core.MultiObserver(observer, arec)
+	}
+
 	sess := core.NewSession(strat, b, core.SessionOptions{
 		MaxSteps:       opts.Steps,
 		StopAfterZeros: opts.StopAfterZeros,
 		Retry:          opts.Retry,
 		TrialTimeout:   opts.TrialTimeout,
-		Observer:       opts.composedObserver(),
+		Observer:       observer,
 	})
 	return &Tuner{
-		sess:     sess,
-		opts:     opts,
-		topoName: t.Name,
-		topoN:    t.N(),
-		custom:   custom,
-		bound:    spec.MaxConcurrentTrials(template.TotalTasks()),
+		sess:       sess,
+		opts:       opts,
+		topoName:   t.Name,
+		topoN:      t.N(),
+		custom:     custom,
+		bound:      spec.MaxConcurrentTrials(template.TotalTasks()),
+		arec:       arec,
+		archiveKey: archiveKey,
+		transfer:   transfer,
 	}, nil
 }
 
@@ -262,16 +319,52 @@ func (tn *Tuner) Best() (RunRecord, bool) { return tn.sess.Result().Best() }
 // clamps its q to.
 func (tn *Tuner) MaxParallel() int { return tn.bound }
 
+// ArchiveKey returns the key this session records under, empty when
+// TunerOptions.Archive was not set.
+func (tn *Tuner) ArchiveKey() string { return tn.archiveKey }
+
+// Transfer returns the warm start this session applied, nil for cold
+// runs (transfer disabled, no archive, or no donor cleared the
+// similarity guard).
+func (tn *Tuner) Transfer() *TransferSeed { return tn.transfer }
+
+// SealArchive marks the session's archive record complete, attaching
+// the final session state and making the evidence durable. The drivers
+// call it on a clean finish; ask/tell callers invoke it themselves
+// once Done. Without an archive it is a no-op.
+func (tn *Tuner) SealArchive() error {
+	if tn.arec == nil {
+		return nil
+	}
+	if err := tn.arec.Seal(tn.sess.Snapshot()); err != nil {
+		return err
+	}
+	return tn.arec.Err()
+}
+
+// sealAfterRun seals the archive record after a driver finished
+// cleanly; a cancelled run stays unsealed so resume can re-attach.
+func (tn *Tuner) sealAfterRun(runErr error) error {
+	if runErr != nil || tn.arec == nil || !tn.sess.Done() {
+		return runErr
+	}
+	return tn.SealArchive()
+}
+
 // Run drives the session sequentially (the paper's procedure) until
 // the budget is spent or ctx is cancelled; on cancellation the partial
 // result is returned together with ctx's error.
-func (tn *Tuner) Run(ctx context.Context) (TuneResult, error) { return tn.sess.Run(ctx) }
+func (tn *Tuner) Run(ctx context.Context) (TuneResult, error) {
+	res, err := tn.sess.Run(ctx)
+	return res, tn.sealAfterRun(err)
+}
 
 // RunBatch drives the session in barrier batches of q concurrently
 // evaluated trials (constant-liar suggestions); each round waits for
 // the whole batch. q ≤ 1 reproduces Run.
 func (tn *Tuner) RunBatch(ctx context.Context, q int) (TuneResult, error) {
-	return tn.sess.RunBatch(ctx, q)
+	res, err := tn.sess.RunBatch(ctx, q)
+	return res, tn.sealAfterRun(err)
 }
 
 // RunAsync drives the session with free-slot refill: up to q trials in
@@ -286,7 +379,8 @@ func (tn *Tuner) RunAsync(ctx context.Context, q int) (TuneResult, error) {
 		tn.sess.Emit(ParallelismClamped{Requested: q, Allowed: tn.bound})
 		q = tn.bound
 	}
-	return tn.sess.RunAsync(ctx, q)
+	res, err := tn.sess.RunAsync(ctx, q)
+	return res, tn.sealAfterRun(err)
 }
 
 // TunerState is the serializable snapshot of a Tuner: everything needed
@@ -313,6 +407,13 @@ type TunerState struct {
 	Cluster          ClusterSpec        `json:"cluster"`
 	Custom           bool               `json:"custom,omitempty"`
 	Session          *core.SessionState `json:"session"`
+	// ArchiveKey and Transfer carry the archive identity and the
+	// applied warm start: resume re-attaches the same record (no
+	// double-appends) and reapplies the identical transfer so replay
+	// stays bit-exact. The archive itself is not serialized — pass it
+	// again via opts.Archive.
+	ArchiveKey string        `json:"archiveKey,omitempty"`
+	Transfer   *TransferSeed `json:"transfer,omitempty"`
 }
 
 const tunerStateVersion = 1
@@ -340,6 +441,8 @@ func (tn *Tuner) Snapshot() *TunerState {
 		Cluster:          *o.Cluster,
 		Custom:           tn.custom,
 		Session:          tn.sess.Snapshot(),
+		ArchiveKey:       tn.archiveKey,
+		Transfer:         tn.transfer,
 	}
 }
 
@@ -460,17 +563,56 @@ func ResumeTuner(st *TunerState, t *Topology, b Backend, opts TunerOptions) (*Tu
 		if opts.Strategy != nil {
 			return nil, fmt.Errorf("stormtune: snapshot used the built-in optimizer; opts.Strategy must be nil")
 		}
-		strat = core.NewBO(t, st.Cluster, st.Template, resolved.boOptions())
+		bs := core.NewBO(t, st.Cluster, st.Template, resolved.boOptions())
+		// Reapply the snapshotted warm start before replay: the op-log
+		// cross-checks every regenerated proposal, so the resumed
+		// optimizer must start from the identical warm design.
+		bs.ApplyTransfer(st.Transfer)
+		strat = bs
 	}
+
+	// Re-attach the archive record (if the caller passes the store
+	// again). Begun before the replay so its resume cursor reflects
+	// what the archive already holds.
+	var arec *core.ArchiveRecorder
+	archiveKey := ""
+	if opts.Archive != nil {
+		resolved.Archive = opts.Archive
+		archiveKey = st.ArchiveKey
+		if archiveKey == "" {
+			archiveKey = deriveArchiveKey(opts.Archive, t.Name, t.Fingerprint(), strat.Name(), st.Seed)
+		}
+		meta := core.SessionMetaFor(archiveKey, t, st.Cluster, strat.Name(), st.Set, st.Seed)
+		var aerr error
+		if arec, aerr = core.NewArchiveRecorder(opts.Archive, meta); aerr != nil {
+			return nil, fmt.Errorf("stormtune: archive: %w", aerr)
+		}
+	}
+	observer := resolved.composedObserver()
+	if arec != nil {
+		observer = core.MultiObserver(observer, arec)
+	}
+
 	sess, err := core.ResumeSession(st.Session, strat, b, core.SessionOptions{
 		MaxSteps:       resolved.Steps,
 		StopAfterZeros: resolved.StopAfterZeros,
 		Retry:          resolved.Retry,
 		TrialTimeout:   resolved.TrialTimeout,
-		Observer:       resolved.composedObserver(),
+		Observer:       observer,
 	})
 	if err != nil {
 		return nil, err
+	}
+	// The snapshot may hold records the archive never saw (e.g. the
+	// first run recorded no archive); replay emits no events, so
+	// backfill them — the resume cursor skips everything the archive
+	// already has, never double-appending pre-snapshot records.
+	if arec != nil {
+		recs := make([]RunRecord, len(st.Session.Records))
+		for i, r := range st.Session.Records {
+			recs[i] = RunRecord{Step: r.Step, Config: r.Config, Result: r.Result}
+		}
+		arec.Backfill(recs)
 	}
 	// Rebuild the recorder's history from the snapshot — only now that
 	// the replay cross-check accepted it (a rejected snapshot must not
@@ -479,13 +621,19 @@ func ResumeTuner(st *TunerState, t *Topology, b Backend, opts TunerOptions) (*Tu
 	// the carried-over pending trials.
 	if resolved.Recorder != nil {
 		resolved.Recorder.Prime(st.Session)
+		if st.Transfer != nil {
+			resolved.Recorder.SetTransfer(st.Transfer)
+		}
 	}
 	return &Tuner{
-		sess:     sess,
-		opts:     resolved,
-		topoName: st.Topology,
-		topoN:    st.Nodes,
-		custom:   st.Custom,
-		bound:    st.Cluster.MaxConcurrentTrials(st.Template.TotalTasks()),
+		sess:       sess,
+		opts:       resolved,
+		topoName:   st.Topology,
+		topoN:      st.Nodes,
+		custom:     st.Custom,
+		bound:      st.Cluster.MaxConcurrentTrials(st.Template.TotalTasks()),
+		arec:       arec,
+		archiveKey: archiveKey,
+		transfer:   st.Transfer,
 	}, nil
 }

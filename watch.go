@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"time"
 
+	"stormtune/internal/archive"
 	"stormtune/internal/bo"
 	"stormtune/internal/cluster"
 	"stormtune/internal/core"
@@ -124,6 +126,17 @@ type WatchOptions struct {
 	// out. Pacing only — no tuning decision reads the wall clock.
 	Throttle time.Duration
 
+	// Archive, when set, records every completed trial — initial tune
+	// and retune episodes alike — into the store as evidence for
+	// future warm starts. Record-only: a watch never warm-starts
+	// itself (its retunes already seed from the running incumbent).
+	// The record seals when Run finishes cleanly (horizon or episode
+	// budget reached); a cancelled watch stays unsealed for re-attach.
+	Archive Archive
+	// ArchiveKey pins the archive record key; empty derives one from
+	// the topology fingerprint and seed. Resume reuses the snapshot's.
+	ArchiveKey string
+
 	// Optimizer knobs, as in TunerOptions.
 	Candidates       int
 	HyperSamples     int
@@ -161,6 +174,59 @@ type Watcher struct {
 	opts     WatchOptions
 	topoName string
 	topoN    int
+	arch     *watchArchiver
+}
+
+// watchArchiver appends a watch's completed trials to an archive under
+// one key, numbering them with its own monotone counter — watch
+// episodes restart session-local trial IDs, so the session step cannot
+// serve as the archive step. The counter resumes from the store's
+// cursor so a resumed watch continues the numbering.
+type watchArchiver struct {
+	store Archive
+	key   string
+	mu    sync.Mutex
+	step  int
+	err   error
+}
+
+// OnEvent implements Observer.
+func (a *watchArchiver) OnEvent(e Event) {
+	tc, ok := e.(TrialCompleted)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return
+	}
+	a.step++
+	y := tc.Result.Throughput
+	if tc.Result.Failed {
+		y = 0
+	}
+	a.err = a.store.Append(a.key, archive.TrialRecord{
+		Step: a.step, Config: tc.Trial.Config, Y: y, Failed: tc.Result.Failed,
+	})
+}
+
+func (a *watchArchiver) seal() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.err != nil {
+		return a.err
+	}
+	return a.store.Seal(a.key, nil)
+}
+
+// newWatchArchiver registers (or re-attaches) the watch in the store.
+func newWatchArchiver(store Archive, key string, t *Topology, spec ClusterSpec, set ParamSet, seed int64) (*watchArchiver, error) {
+	meta := core.SessionMetaFor(key, t, spec, "watch", set, seed)
+	if err := store.Begin(meta); err != nil {
+		return nil, fmt.Errorf("stormtune: archive: %w", err)
+	}
+	return &watchArchiver{store: store, key: key, step: store.LastStep(key)}, nil
 }
 
 // resolve fills the option defaults shared by NewWatcher and
@@ -198,6 +264,9 @@ func (w *Watcher) watchOptions(o WatchOptions) watch.Options {
 		SnapshotEvery: o.SnapshotEvery,
 		Throttle:      o.Throttle,
 	}
+	if w.arch != nil {
+		wo.Observer = core.MultiObserver(wo.Observer, w.arch)
+	}
 	if o.Snapshot != nil {
 		hook := o.Snapshot
 		wo.Snapshot = func(st *watch.State) { hook(w.wrapState(st)) }
@@ -218,14 +287,42 @@ func NewWatcher(t *Topology, b Backend, opts WatchOptions) (*Watcher, error) {
 	}
 	opts = opts.resolve(t)
 	w := &Watcher{opts: opts, topoName: t.Name, topoN: t.N()}
+	if opts.Archive != nil {
+		key := opts.ArchiveKey
+		if key == "" {
+			key = deriveArchiveKey(opts.Archive, t.Name, t.Fingerprint(), "watch", opts.Seed)
+		}
+		arch, err := newWatchArchiver(opts.Archive, key, t, *opts.Cluster, opts.Set, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		w.arch = arch
+		w.opts.ArchiveKey = key
+	}
 	w.c = watch.New(t, *opts.Cluster, *opts.Template, b, opts.boOptions(), w.watchOptions(opts))
 	return w, nil
 }
 
 // Run drives the watch until ctx is cancelled, the horizon is reached,
 // or MaxEpisodes episodes have completed. On cancellation all state
-// stays intact: call Snapshot for a resumable WatchState.
-func (w *Watcher) Run(ctx context.Context) error { return w.c.Run(ctx) }
+// stays intact: call Snapshot for a resumable WatchState. A clean
+// finish seals the watch's archive record (when one is configured).
+func (w *Watcher) Run(ctx context.Context) error {
+	err := w.c.Run(ctx)
+	if err == nil && w.arch != nil {
+		return w.arch.seal()
+	}
+	return err
+}
+
+// ArchiveKey returns the key this watch records under, empty without
+// an archive.
+func (w *Watcher) ArchiveKey() string {
+	if w.arch == nil {
+		return ""
+	}
+	return w.arch.key
+}
 
 // Incumbent returns the configuration currently held and its measured
 // objective; ok is false before the initial tune completes.
@@ -264,7 +361,10 @@ type WatchState struct {
 	Cluster          ClusterSpec    `json:"cluster"`
 	Monitor          MonitorOptions `json:"monitor"`
 	Retune           RetuneOptions  `json:"retune"`
-	Watch            *watch.State   `json:"watch"`
+	// ArchiveKey is the archive record key the watch appended under;
+	// resume re-attaches it when opts.Archive is passed again.
+	ArchiveKey string       `json:"archiveKey,omitempty"`
+	Watch      *watch.State `json:"watch"`
 }
 
 const watchStateVersion = 1
@@ -291,6 +391,7 @@ func (w *Watcher) wrapState(st *watch.State) *WatchState {
 		Cluster:          *o.Cluster,
 		Monitor:          o.Monitor,
 		Retune:           o.Retune,
+		ArchiveKey:       o.ArchiveKey,
 		Watch:            st,
 	}
 }
@@ -393,6 +494,19 @@ func ResumeWatcher(st *WatchState, t *Topology, b Backend, opts WatchOptions) (*
 		Throttle:         opts.Throttle,
 	}
 	w := &Watcher{opts: resolved, topoName: st.Topology, topoN: st.Nodes}
+	if opts.Archive != nil {
+		key := st.ArchiveKey
+		if key == "" {
+			key = deriveArchiveKey(opts.Archive, t.Name, t.Fingerprint(), "watch", st.Seed)
+		}
+		arch, aerr := newWatchArchiver(opts.Archive, key, t, st.Cluster, st.Set, st.Seed)
+		if aerr != nil {
+			return nil, aerr
+		}
+		w.arch = arch
+		w.opts.Archive = opts.Archive
+		w.opts.ArchiveKey = key
+	}
 	c, err := watch.Resume(st.Watch, t, st.Cluster, st.Template, b,
 		resolved.boOptions(), w.watchOptions(resolved))
 	if err != nil {
