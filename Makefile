@@ -9,10 +9,10 @@ SHELL := /bin/bash
 # on — one variable, so the two sets cannot diverge (a baseline
 # refreshed from a fuller report must never contain benchmarks the gate
 # run does not produce).
-GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|FleetSchedule|MonitorObserve|ArchiveQuery|WarmStartSeed)$$
+GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|BOSuggestLargeHistory(/n\d+)?|GPObserveIncremental|FleetSchedule|MonitorObserve|ArchiveQuery|WarmStartSeed)$$
 GATE_PERCENT = 0.30
 
-.PHONY: build test lint stormlint bench bench-baseline bench-gate dash-smoke fleet-smoke watch-smoke archive-smoke
+.PHONY: build test lint stormlint bench bench-baseline bench-gate bench-gp dash-smoke fleet-smoke watch-smoke archive-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -38,6 +38,12 @@ stormlint:
 
 bench:
 	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# The GP/BO hot-path benchmarks alone: fit, incremental observe,
+# decision steps at small and large history. Fast enough to run while
+# iterating on internal/gp, internal/linalg or internal/bo.
+bench-gp:
+	go test -run '^$$' -bench '^Benchmark(GPFit|GPObserveIncremental|BOSuggest.*)$$' -benchtime 3x -count 3 .
 
 # Refresh the committed bench-regression baseline. Run this on the same
 # class of machine CI uses (or accept that the first CI run after a

@@ -307,6 +307,8 @@
 // their justification. See README "Static analysis".
 //
 // See the examples directory for runnable programs (examples/quickstart
-// for the session API, examples/resume for snapshot/resume) and
-// DESIGN.md for the mapping between paper artifacts and modules.
+// for the session API, examples/resume for snapshot/resume),
+// ARCHITECTURE.md for the layer map and the incremental-GP cache
+// design, and DESIGN.md for the mapping between paper artifacts and
+// modules.
 package stormtune

@@ -92,22 +92,25 @@ func haltonOffset(nObs int) int {
 	return off
 }
 
-// scorer evaluates the hyper-marginalized acquisition over the GP
-// ensemble. The GPs are only read, so one scorer can serve many
-// goroutines via per-worker closures.
+// scorer evaluates the hyper-marginalized acquisition over the
+// surrogate ensemble. The models are only read, so one scorer can
+// serve many goroutines via per-worker closures.
 type scorer struct {
-	gps   []*gp.GP
-	acq   Acquisition
-	bestY float64
+	models []gp.Surrogate
+	acq    Acquisition
+	bestY  float64
 }
 
-// worker returns a scoring closure with its own scratch buffers.
+// worker returns a scoring closure with its own scratch buffers: the
+// per-model gp.Scratch makes every posterior query allocation-free,
+// which matters when the grid is thousands of candidates per ask.
 func (s *scorer) worker() func(u []float64) float64 {
-	mus := make([]float64, len(s.gps))
-	sigmas := make([]float64, len(s.gps))
+	mus := make([]float64, len(s.models))
+	sigmas := make([]float64, len(s.models))
+	scratch := make([]gp.Scratch, len(s.models))
 	return func(u []float64) float64 {
-		for i, gi := range s.gps {
-			mu, s2 := gi.Predict(u)
+		for i, m := range s.models {
+			mu, s2 := m.PredictInto(&scratch[i], u)
 			mus[i] = mu
 			sigmas[i] = math.Sqrt(s2)
 		}

@@ -231,7 +231,7 @@ func TestArgmaxMatchesSequential(t *testing.T) {
 	if err := g.Fit(xs, ys); err != nil {
 		t.Fatal(err)
 	}
-	sc := scorer{gps: []*gp.GP{g}, acq: EI{}, bestY: maxOf(ys)}
+	sc := scorer{models: []gp.Surrogate{g}, acq: EI{}, bestY: maxOf(ys)}
 	cands := make([][]float64, 500)
 	for i := range cands {
 		cands[i] = []float64{rng.Float64(), rng.Float64()}

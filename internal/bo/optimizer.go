@@ -79,6 +79,25 @@ type Options struct {
 	// like the other non-scalar options: bo.State does not carry it,
 	// the session-level snapshot reconstructs it.
 	Trust *TrustRegion
+	// ApproxAfter is the observation count past which the surrogate
+	// switches from exact GPs to the random-Fourier-feature
+	// approximation with frozen hyperparameters (0 = default 1024,
+	// negative disables). Only applies when MaxGPPoints is unset — a
+	// sliding window already bounds the exact cost.
+	ApproxAfter int
+	// RFFFeatures is the number of random Fourier features used past
+	// ApproxAfter (default 256).
+	RFFFeatures int
+	// DenseRebuild forces the surrogate ensemble to be rebuilt from
+	// scratch on every ask instead of extending cached factors. Same
+	// epoch schedule, same RNG stream, bit-identical proposals — the
+	// reference path the incremental cache is pinned against in tests.
+	DenseRebuild bool
+	// InitHypers seeds the first refit epoch with an existing
+	// hyperparameter posterior (an incumbent session's HyperState), so a
+	// retune session reuses the cache its parent already paid for
+	// instead of slice-sampling from cold. Runtime-only.
+	InitHypers *HyperState
 }
 
 func (o Options) withDefaults(d int) Options {
@@ -142,6 +161,10 @@ type Optimizer struct {
 	// each other; initNext indexes the next unissued point.
 	initQueue [][]float64
 	initNext  int
+
+	// cache holds the surrogate ensemble reused across Suggest calls;
+	// see modelCache.
+	cache modelCache
 
 	// LastStepDuration records how long the most recent Suggest call
 	// took; the scalability experiment (Figure 7) reads it.
@@ -297,65 +320,53 @@ func (opt *Optimizer) confine(u []float64) []float64 {
 
 func (opt *Optimizer) suggestGP() []float64 {
 	d := opt.Space.D()
-	xs, ys := opt.trainingSet()
+
+	// Epoch maintenance: slice sampling (the only RNG consumer on the
+	// model side) runs only when the refit schedule demands it; between
+	// epochs hyperparameters and y-standardization stay frozen so the
+	// cached factors remain valid.
+	if opt.needRefit() {
+		if err := opt.refitEpoch(); err != nil {
+			// Degenerate surrogate: fall back to random exploration.
+			return opt.confine(sample.Uniform(opt.rng, 1, d)[0])
+		}
+	}
+	c := &opt.cache
 
 	// Constant-liar conditioning: pending (suggested but unobserved)
-	// points enter the training set with a fantasy objective, so a batch
-	// of suggestions spreads out instead of collapsing onto the same
-	// acquisition maximum (Ginsbourger et al.'s CL heuristic).
-	if len(opt.pending) > 0 && len(ys) > 0 {
-		lie := opt.Opts.Liar.value(ys)
-		for _, p := range opt.pending {
-			xs = append(xs, p)
-			ys = append(ys, lie)
+	// points enter the conditioning set with a fantasy objective, so a
+	// batch of suggestions spreads out instead of collapsing onto the
+	// same acquisition maximum (Ginsbourger et al.'s CL heuristic). The
+	// lie is standardized with the frozen epoch scale and fixed at
+	// append time, making retraction an exact inverse.
+	var fant []fantasyPoint
+	if len(opt.pending) > 0 {
+		_, ys := opt.trainingSet()
+		if len(ys) > 0 {
+			lie := (opt.Opts.Liar.value(ys) - c.my) / c.sy
+			for _, p := range opt.pending {
+				fant = append(fant, fantasyPoint{u: p, y: lie})
+			}
 		}
 	}
 
-	// Standardize y for GP stability.
-	my, sy := meanStd(ys)
-	ny := make([]float64, len(ys))
-	for i, v := range ys {
-		ny[i] = (v - my) / sy
+	// Bring the ensemble to the canonical conditioning state. Windowed
+	// sessions (MaxGPPoints) rebuild per ask — a sliding window has no
+	// stable prefix to extend — but still reuse the epoch's frozen
+	// hypers, so they skip the slice-sampling cost too. DenseRebuild is
+	// the bit-identical reference path for the cache.
+	windowed := opt.Opts.MaxGPPoints > 0 && len(opt.obs) > opt.Opts.MaxGPPoints
+	var err error
+	if windowed || opt.Opts.DenseRebuild {
+		err = opt.rebuildModels(fant)
+	} else {
+		err = opt.syncModels(fant)
 	}
-
-	g := gp.New(opt.Opts.Kernel(d), opt.Opts.NoiseVar)
-	// The GP fits standardized objectives, the same scale PriorMean
-	// speaks, so the prior installs directly.
-	g.Prior = opt.Opts.PriorMean
-	if err := g.Fit(xs, ny); err != nil {
-		// Degenerate surrogate: fall back to random exploration.
+	if err != nil {
 		return opt.confine(sample.Uniform(opt.rng, 1, d)[0])
 	}
 
-	// Hyperparameter handling: marginalize over slice samples or MAP.
-	// The slice-sampling chain is inherently sequential, but the
-	// per-sample clone-and-refit (an O(n³) Cholesky each) fans out
-	// across the worker pool; collection preserves sample order so the
-	// result is identical to the sequential loop.
-	var gps []*gp.GP
-	if opt.Opts.HyperSamples <= 1 {
-		g.FitMAP(opt.rng, 5)
-		gps = []*gp.GP{g}
-	} else {
-		samples := g.SliceSampleHypers(opt.rng, opt.Opts.HyperSamples, 1)
-		refits := make([]*gp.GP, len(samples))
-		parallelFor(opt.Opts.Workers, len(samples), func(i int) {
-			gi := g.Clone()
-			if err := gi.SetHypersAndRefit(samples[i]); err == nil {
-				refits[i] = gi
-			}
-		})
-		for _, gi := range refits {
-			if gi != nil {
-				gps = append(gps, gi)
-			}
-		}
-		if len(gps) == 0 {
-			gps = []*gp.GP{g}
-		}
-	}
-
-	_, bestY, _ := opt.bestStandardized(my, sy)
+	_, bestY, _ := opt.bestStandardized(c.my, c.sy)
 
 	// Candidate grid: uniform + Halton + seeds + jittered copies of the
 	// incumbent (Spearmint also includes the current best region).
@@ -398,7 +409,7 @@ func (opt *Optimizer) suggestGP() []float64 {
 	if len(cands) == 0 {
 		return opt.confine(sample.Uniform(opt.rng, 1, d)[0])
 	}
-	sc := scorer{gps: gps, acq: opt.Opts.Acq, bestY: bestY}
+	sc := scorer{models: c.models, acq: opt.Opts.Acq, bestY: bestY}
 	bi, bestScore := sc.argmax(cands, opt.Opts.Workers)
 	bestU := cands[bi]
 	score := sc.worker()

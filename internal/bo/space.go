@@ -4,6 +4,22 @@
 // Improvement acquisition marginalized over slice-sampled kernel
 // hyperparameters, and a Suggest/Observe loop with JSON state
 // serialization for pause and resume.
+//
+// # The incremental hot path
+//
+// The optimizer amortizes surrogate work across asks through a
+// modelCache (cache.go). Hyperparameter slice sampling and
+// y-standardization run only at refit epochs — a pure function of the
+// observation count — and stay frozen in between; each ask then
+// extends the cached Cholesky factors with the new observations
+// (gp.Surrogate.Observe) and conditions constant-liar fantasies in and
+// out by trailing extend/retract, instead of refitting the ensemble
+// from scratch. Past Options.ApproxAfter observations the ensemble
+// switches to a random-Fourier-feature surrogate whose per-ask cost is
+// constant in n. Options.DenseRebuild selects the cold
+// rebuild-every-ask reference path, which the cache is pinned against
+// bit-for-bit in tests; Options.InitHypers warm-starts the first epoch
+// from another session's HyperState.
 package bo
 
 import (

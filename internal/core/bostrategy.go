@@ -250,6 +250,13 @@ func (s *BOStrategy) Observe(cfg storm.Config, res storm.Result) {
 // DecisionTime implements Strategy.
 func (s *BOStrategy) DecisionTime() time.Duration { return s.lastDur }
 
+// HyperState returns the optimizer's current hyperparameter posterior —
+// the slice samples of its latest refit epoch — or nil before the first
+// GP fit. Feed it to a later session through RetuneOptions.InitHypers
+// (or bo.Options.InitHypers) to skip that session's cold slice-sampling
+// burn.
+func (s *BOStrategy) HyperState() *bo.HyperState { return s.opt.HyperState() }
+
 // BestConfig returns the configuration of the incumbent.
 func (s *BOStrategy) BestConfig() (storm.Config, bool) {
 	u, _, ok := s.opt.Best()
@@ -314,6 +321,12 @@ type RetuneOptions struct {
 	Grow      float64 `json:"grow,omitempty"`
 	Shrink    float64 `json:"shrink,omitempty"`
 	GrowAfter int     `json:"growAfter,omitempty"`
+	// InitHypers seeds the retune optimizer's first hyperparameter
+	// epoch with the incumbent session's posterior (see
+	// BOStrategy.HyperState), so the episode skips the cold
+	// slice-sampling burn and starts from length scales already
+	// adapted to the topology's response surface. Nil samples cold.
+	InitHypers *bo.HyperState `json:"initHypers,omitempty"`
 }
 
 func (ro RetuneOptions) radius() float64 {
@@ -336,6 +349,7 @@ func NewRetuneBO(t *topo.Topology, spec cluster.Spec, template storm.Config, opt
 	// The incumbent is re-proposed or improved upon, never re-seeded
 	// from a cold Latin hypercube.
 	opts.Opt.InitialDesign = 1
+	opts.Opt.InitHypers = ro.InitHypers
 	s := NewBO(t, spec, template, opts)
 	s.name += ".retune"
 	for _, w := range history {

@@ -1,3 +1,41 @@
+// Package gp implements Gaussian-process regression as used by
+// Spearmint: an ARD Matérn-5/2 (or squared-exponential) kernel over the
+// unit hypercube, exact inference via Cholesky factorization, and
+// marginalization of kernel hyperparameters by slice sampling.
+//
+// # Cache lifecycle
+//
+// A fitted GP caches its Cholesky factor and alpha vector across calls,
+// and the residual vector y − m₀(x) that both derive from. The cache
+// supports three transitions:
+//
+//   - Observe appends one observation by extending the cached factor in
+//     place (linalg.Cholesky.Extend, O(n²)). The result is bit-identical
+//     to refitting from scratch at the same jitter; if the extension is
+//     not positive definite at the recorded jitter, Observe falls back
+//     to a full refit with jitter escalation.
+//   - Retract drops the most recently observed point (linalg's Shrink,
+//     a trailing downdate), restoring the previous factor bit-for-bit.
+//     Constant-liar fantasy points are always appended last so batch
+//     proposal never pays a refactorization.
+//   - Fit and SetHypersAndRefit invalidate everything: new
+//     hyperparameters change every kernel matrix entry, so the factor is
+//     rebuilt in O(n³). This is the only invalidation rule — anything
+//     short of a refit reuses the cached factor.
+//
+// Posterior queries never mutate the cache: Predict/PredictInto read
+// the cached factor and alpha, and PredictInto is allocation-free given
+// a caller-owned Scratch (safe for concurrent readers, one Scratch per
+// goroutine).
+//
+// # Exact / approximate switchover
+//
+// Exact inference costs O(n²) per observe and O(n) per posterior mean.
+// Past a few thousand points that is too slow for a continuous tuning
+// service, so RFF provides a random-Fourier-feature approximation with
+// O(m²) observe and O(m) posterior cost, constant in n (m = number of
+// features, deterministic for a fixed seed). Both satisfy Surrogate;
+// internal/bo switches from GP to RFF past its ApproxAfter threshold.
 package gp
 
 import (
@@ -7,6 +45,19 @@ import (
 
 	"stormtune/internal/linalg"
 )
+
+// Surrogate is the posterior interface internal/bo consumes: an exact
+// GP below the approximation threshold, an RFF model above it. Observe
+// and Retract are incremental (no refactorization); Retract removes the
+// most recently observed point and callers retract in reverse
+// observation order.
+type Surrogate interface {
+	Predict(xs []float64) (mu, sigma2 float64)
+	PredictInto(s *Scratch, xs []float64) (mu, sigma2 float64)
+	Observe(x []float64, y float64) error
+	Retract(x []float64, y float64) error
+	N() int
+}
 
 // GP is a Gaussian-process regressor with a constant mean function and
 // i.i.d. Gaussian observation noise. Fit must be called before Predict.
@@ -25,8 +76,15 @@ type GP struct {
 
 	x     [][]float64
 	y     []float64
+	resid []float64 // y − m₀(x), uncentered (Mean is subtracted on solve)
 	chol  *linalg.Cholesky
 	alpha []float64 // K⁻¹ (y - m)
+
+	// Scratch buffers reused across Fit calls (slice sampling refits the
+	// same n repeatedly) and refreshAlpha.
+	kmat     *linalg.Matrix
+	centered []float64
+	fwd      []float64
 }
 
 // prior evaluates the prior mean, zero when unset.
@@ -49,63 +107,188 @@ func New(k Kernel, noise float64) *GP {
 // ErrNoData is returned by Fit when given no observations.
 var ErrNoData = errors.New("gp: no observations")
 
-// Fit conditions the GP on observations (x, y). The constant mean is
-// set to the sample mean of the prior-mean residuals y − m₀(x)
+// Fit conditions the GP on observations (x, y), rebuilding the cached
+// factor from scratch (the refit invalidation path). The constant mean
+// is set to the sample mean of the prior-mean residuals y − m₀(x)
 // (empirical-Bayes choice, as Spearmint does before standardizing);
 // with no Prior that is simply the sample mean of y.
+//
+// The observation slices are copied, so a later Observe on this GP
+// never aliases the caller's backing arrays.
 func (g *GP) Fit(x [][]float64, y []float64) error {
 	if len(x) == 0 || len(x) != len(y) {
 		return ErrNoData
 	}
 	n := len(x)
-	g.x = x
-	g.y = y
-	resid := make([]float64, n)
-	mean := 0.0
-	for i, v := range y {
-		resid[i] = v - g.prior(x[i])
-		mean += resid[i]
+	g.x = append(g.x[:0], x...)
+	g.y = append(g.y[:0], y...)
+	if cap(g.resid) < n {
+		g.resid = make([]float64, n)
 	}
-	g.Mean = mean / float64(n)
+	g.resid = g.resid[:n]
+	for i, v := range g.y {
+		g.resid[i] = v - g.prior(g.x[i])
+	}
 
-	k := linalg.NewMatrix(n, n)
+	if g.kmat == nil || g.kmat.Rows != n {
+		g.kmat = linalg.NewMatrix(n, n)
+	}
+	k := g.kmat
 	for i := 0; i < n; i++ {
-		for j := i; j < n; j++ {
-			v := g.Kern.Eval(x[i], x[j])
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+		row := k.Data[i*n : i*n+i+1]
+		g.Kern.EvalRow(g.x[i], g.x[:i+1], row)
+		for j := 0; j < i; j++ {
+			k.Data[j*n+i] = row[j]
 		}
-		k.Add(i, i, g.Noise)
+		k.Data[i*n+i] = row[i] + g.Noise
 	}
 	ch, err := linalg.NewCholesky(k)
 	if err != nil {
 		return err
 	}
 	g.chol = ch
-	for i := range resid {
-		resid[i] -= g.Mean
-	}
-	g.alpha = ch.SolveVec(resid)
+	g.refreshAlpha()
 	return nil
+}
+
+// Observe appends one observation to a fitted GP, extending the cached
+// factor in O(n²) instead of refitting in O(n³). The extended factor is
+// bit-identical to what Fit would build on the same data at the same
+// jitter; when the extension fails (the appended point makes the matrix
+// indefinite at the recorded jitter) Observe transparently falls back
+// to a full refit with jitter escalation. On an unfitted GP it behaves
+// like a one-point Fit.
+func (g *GP) Observe(x []float64, y float64) error {
+	n := len(g.x)
+	g.x = append(g.x, x)
+	g.y = append(g.y, y)
+	g.resid = append(g.resid, y-g.prior(x))
+	if g.chol == nil || n == 0 {
+		return g.Fit(g.x, g.y)
+	}
+	if cap(g.fwd) < n {
+		g.fwd = make([]float64, n)
+	}
+	row := g.fwd[:n]
+	g.Kern.EvalRow(x, g.x[:n], row)
+	diag := g.Kern.Eval(x, x) + g.Noise
+	if err := g.chol.Extend(row, diag); err != nil {
+		return g.Fit(g.x, g.y)
+	}
+	g.refreshAlpha()
+	return nil
+}
+
+// Retract removes the most recently observed point, restoring the
+// previous factor bit-for-bit (a trailing downdate via Shrink). The
+// arguments identify the point for interface symmetry with RFF, which
+// needs them; the GP only checks that x matches the trailing row.
+// Retracting the last remaining point returns the GP to its unfitted
+// state.
+func (g *GP) Retract(x []float64, y float64) error {
+	n := len(g.x)
+	if n == 0 {
+		return errors.New("gp: retract on empty GP")
+	}
+	if x != nil && len(g.x[n-1]) == len(x) {
+		for i, v := range x {
+			if g.x[n-1][i] != v {
+				return errors.New("gp: retract point is not the most recent observation")
+			}
+		}
+	}
+	g.x = g.x[:n-1]
+	g.y = g.y[:n-1]
+	g.resid = g.resid[:n-1]
+	if n == 1 {
+		g.chol = nil
+		g.alpha = nil
+		g.Mean = 0
+		return nil
+	}
+	if err := g.chol.Shrink(n - 1); err != nil {
+		return err
+	}
+	g.refreshAlpha()
+	return nil
+}
+
+// refreshAlpha recomputes the constant mean and alpha vector from the
+// cached residuals and factor. The accumulation order matches Fit's, so
+// an incrementally maintained GP and a freshly fitted one agree
+// bit-for-bit.
+func (g *GP) refreshAlpha() {
+	n := len(g.resid)
+	mean := 0.0
+	for _, r := range g.resid {
+		mean += r
+	}
+	g.Mean = mean / float64(n)
+	if cap(g.centered) < n {
+		g.centered = make([]float64, n)
+		g.fwd = make([]float64, n)
+	}
+	c := g.centered[:n]
+	for i, r := range g.resid {
+		c[i] = r - g.Mean
+	}
+	if cap(g.alpha) < n {
+		g.alpha = make([]float64, n)
+	}
+	g.alpha = g.alpha[:n]
+	g.chol.ForwardSolveInto(g.fwd[:n], c)
+	g.chol.BackSolveInto(g.alpha, g.fwd[:n])
 }
 
 // N returns the number of conditioning observations.
 func (g *GP) N() int { return len(g.x) }
 
+// Jitter reports the diagonal jitter of the cached factorization, zero
+// when unfitted.
+func (g *GP) Jitter() float64 {
+	if g.chol == nil {
+		return 0
+	}
+	return g.chol.Jitter
+}
+
+// Scratch holds per-caller buffers for PredictInto. A single Scratch
+// must not be shared between goroutines; the model itself may be read
+// concurrently.
+type Scratch struct {
+	kstar []float64
+	v     []float64
+}
+
+func (s *Scratch) ensure(n int) {
+	if cap(s.kstar) < n {
+		s.kstar = make([]float64, n)
+		s.v = make([]float64, n)
+	}
+	s.kstar = s.kstar[:n]
+	s.v = s.v[:n]
+}
+
 // Predict returns the posterior mean and variance of the latent
 // function at xs. The variance excludes observation noise.
 func (g *GP) Predict(xs []float64) (mu, sigma2 float64) {
+	var s Scratch
+	return g.PredictInto(&s, xs)
+}
+
+// PredictInto is Predict with caller-owned scratch buffers: zero
+// allocations after the first call on a given Scratch, the form the
+// acquisition scorer uses per candidate.
+func (g *GP) PredictInto(s *Scratch, xs []float64) (mu, sigma2 float64) {
 	if g.chol == nil {
 		return g.prior(xs) + g.Mean, g.Kern.Eval(xs, xs)
 	}
 	n := len(g.x)
-	kstar := make([]float64, n)
-	for i, xi := range g.x {
-		kstar[i] = g.Kern.Eval(xs, xi)
-	}
-	mu = g.prior(xs) + g.Mean + linalg.Dot(kstar, g.alpha)
-	v := g.chol.ForwardSolve(kstar)
-	sigma2 = g.Kern.Eval(xs, xs) - linalg.Dot(v, v)
+	s.ensure(n)
+	g.Kern.EvalRow(xs, g.x, s.kstar)
+	mu = g.prior(xs) + g.Mean + linalg.Dot(s.kstar, g.alpha)
+	g.chol.ForwardSolveInto(s.v, s.kstar)
+	sigma2 = g.Kern.Eval(xs, xs) - linalg.Dot(s.v, s.v)
 	if sigma2 < 0 {
 		sigma2 = 0
 	}
@@ -119,12 +302,17 @@ func (g *GP) LogMarginalLikelihood() float64 {
 		return math.Inf(-1)
 	}
 	n := float64(len(g.y))
-	resid := make([]float64, len(g.y))
-	for i, v := range g.y {
-		resid[i] = v - g.prior(g.x[i]) - g.Mean
+	resid := make([]float64, len(g.resid))
+	for i, r := range g.resid {
+		resid[i] = r - g.Mean
 	}
 	return -0.5*linalg.Dot(resid, g.alpha) - 0.5*g.chol.LogDet() - 0.5*n*math.Log(2*math.Pi)
 }
+
+// HyperVector returns the current full log-space hyperparameter vector
+// (kernel hypers followed by log noise) — the parameterization
+// SliceSampleHypers and SetHypersAndRefit speak.
+func (g *GP) HyperVector() []float64 { return g.hypers() }
 
 // hypers returns the full log-space parameter vector:
 // [kernel hypers…, log noise].
@@ -146,7 +334,9 @@ func (g *GP) setHypers(h []float64) error {
 
 // SetHypersAndRefit installs a full log-space hyperparameter vector
 // (kernel hypers followed by log noise, as produced by
-// SliceSampleHypers) and refits the GP on its current data.
+// SliceSampleHypers) and refits the GP on its current data. This is the
+// cache invalidation point: every cached quantity — kernel matrix,
+// factor, alpha — is rebuilt under the new hyperparameters.
 func (g *GP) SetHypersAndRefit(h []float64) error {
 	if len(h) != len(g.Kern.Hypers())+1 {
 		return fmt.Errorf("gp: want %d hypers, got %d", len(g.Kern.Hypers())+1, len(h))

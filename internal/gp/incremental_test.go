@@ -1,0 +1,262 @@
+package gp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomData(rng *rand.Rand, n, d int) ([][]float64, []float64) {
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, d)
+		s := 0.0
+		for j := range x {
+			x[j] = rng.Float64()
+			s += math.Sin(3 * x[j])
+		}
+		xs[i] = x
+		ys[i] = s + 0.05*rng.NormFloat64()
+	}
+	return xs, ys
+}
+
+// TestGPObserveMatchesFit pins the cache contract: a GP grown one
+// Observe at a time is bit-identical — factor, alpha, mean, posterior —
+// to a GP fitted cold on the full data at the same hyperparameters.
+func TestGPObserveMatchesFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := randomData(rng, 30, 4)
+
+	inc := New(NewMatern52(4, 0.3), 1e-4)
+	for i := range xs {
+		if err := inc.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	cold := New(NewMatern52(4, 0.3), 1e-4)
+	if err := cold.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+
+	if inc.Jitter() != cold.Jitter() {
+		t.Fatalf("jitter: incremental %g vs cold %g", inc.Jitter(), cold.Jitter())
+	}
+	if inc.Mean != cold.Mean {
+		t.Fatalf("mean: incremental %g vs cold %g", inc.Mean, cold.Mean)
+	}
+	for i, v := range inc.chol.L.Data {
+		if v != cold.chol.L.Data[i] {
+			t.Fatalf("factor entry %d: %g vs %g", i, v, cold.chol.L.Data[i])
+		}
+	}
+	for i, v := range inc.alpha {
+		if v != cold.alpha[i] {
+			t.Fatalf("alpha entry %d: %g vs %g", i, v, cold.alpha[i])
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		m1, v1 := inc.Predict(q)
+		m2, v2 := cold.Predict(q)
+		if m1 != m2 || v1 != v2 {
+			t.Fatalf("posterior differs at %v: (%g,%g) vs (%g,%g)", q, m1, v1, m2, v2)
+		}
+	}
+}
+
+// TestGPRetractRestores appends fantasy points and retracts them in
+// reverse order, requiring the original factor, alpha and mean back
+// bit-for-bit — the constant-liar batch contract.
+func TestGPRetractRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs, ys := randomData(rng, 20, 3)
+	g := New(NewMatern52(3, 0.3), 1e-4)
+	if err := g.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	wantL := append([]float64(nil), g.chol.L.Data...)
+	wantAlpha := append([]float64(nil), g.alpha...)
+	wantMean := g.Mean
+
+	fx, fy := randomData(rng, 4, 3)
+	for i := range fx {
+		if err := g.Observe(fx[i], fy[i]); err != nil {
+			t.Fatalf("fantasy observe %d: %v", i, err)
+		}
+	}
+	if g.N() != len(xs)+len(fx) {
+		t.Fatalf("n = %d", g.N())
+	}
+	for i := len(fx) - 1; i >= 0; i-- {
+		if err := g.Retract(fx[i], fy[i]); err != nil {
+			t.Fatalf("retract %d: %v", i, err)
+		}
+	}
+	if g.N() != len(xs) {
+		t.Fatalf("n after retract = %d", g.N())
+	}
+	for i, v := range g.chol.L.Data {
+		if v != wantL[i] {
+			t.Fatalf("factor entry %d not restored", i)
+		}
+	}
+	for i, v := range g.alpha {
+		if v != wantAlpha[i] {
+			t.Fatalf("alpha entry %d not restored", i)
+		}
+	}
+	if g.Mean != wantMean {
+		t.Fatalf("mean not restored: %g vs %g", g.Mean, wantMean)
+	}
+
+	// Retracting a point that is not the most recent must fail.
+	if err := g.Retract(xs[0], ys[0]); err == nil && len(xs) > 1 {
+		t.Fatal("retract of non-trailing point succeeded")
+	}
+}
+
+// TestGPRefitInvalidation pins the invalidation rule: a hyperparameter
+// refit mid-session (after incremental observes) produces posteriors
+// identical to a cold rebuild with the same hypers on the same data.
+func TestGPRefitInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs, ys := randomData(rng, 25, 3)
+
+	g := New(NewMatern52(3, 0.3), 1e-4)
+	if err := g.Fit(xs[:10], ys[:10]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < len(xs); i++ {
+		if err := g.Observe(xs[i], ys[i]); err != nil {
+			t.Fatalf("observe %d: %v", i, err)
+		}
+	}
+	newHypers := []float64{math.Log(1.7), math.Log(0.21), math.Log(0.45), math.Log(0.33), math.Log(2e-4)}
+	if err := g.SetHypersAndRefit(newHypers); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := New(NewMatern52(3, 0.3), 1e-4)
+	if err := cold.SetHypersAndRefit(append([]float64(nil), newHypers...)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+		m1, v1 := g.Predict(q)
+		m2, v2 := cold.Predict(q)
+		if m1 != m2 || v1 != v2 {
+			t.Fatalf("post-refit posterior differs at %v: (%g,%g) vs (%g,%g)", q, m1, v1, m2, v2)
+		}
+	}
+}
+
+// TestGPObserveFallbackRefits forces an Extend failure — a duplicate
+// point with the noise variance far below the diagonal's rounding
+// granularity makes the extension numerically indefinite at the
+// recorded (zero) jitter — and checks Observe transparently falls back
+// to a full refit with jitter escalation that still answers queries.
+func TestGPObserveFallbackRefits(t *testing.T) {
+	kern := NewMatern52(2, 0.5)
+	kern.Amp2 = 1e12 // noise/amp² ≈ 1e-22 < one ulp: duplicates round to singular
+	g := New(kern, 1e-10)
+	pt := []float64{0.4, 0.6}
+	if err := g.Observe(pt, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Observe(pt, 1.0); err != nil {
+		t.Fatalf("duplicate observe: %v", err)
+	}
+	mu, sigma2 := g.Predict(pt)
+	if math.IsNaN(mu) || math.IsNaN(sigma2) {
+		t.Fatalf("degenerate posterior: %g, %g", mu, sigma2)
+	}
+	if g.Jitter() == 0 {
+		t.Fatal("expected jitter escalation on the fallback path")
+	}
+}
+
+// TestRFFDeterministic pins the reproducibility contract: same kernel,
+// seed and observation sequence mean bitwise-identical posteriors;
+// different seeds mean a different feature draw.
+func TestRFFDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	xs, ys := randomData(rng, 40, 3)
+	build := func(seed int64) *RFF {
+		r, err := NewRFF(NewMatern52(3, 0.3), 1e-4, 128, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range xs {
+			if err := r.Observe(xs[i], ys[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return r
+	}
+	a, b, c := build(7), build(7), build(8)
+	q := []float64{0.3, 0.5, 0.7}
+	ma, va := a.Predict(q)
+	mb, vb := b.Predict(q)
+	mc, _ := c.Predict(q)
+	if ma != mb || va != vb {
+		t.Fatalf("same seed diverged: (%g,%g) vs (%g,%g)", ma, va, mb, vb)
+	}
+	if ma == mc {
+		t.Fatal("different seeds produced identical posterior mean")
+	}
+}
+
+// TestRFFApproximatesGP checks approximation quality: with enough
+// features the RFF posterior mean tracks the exact GP closely on held-
+// out points, and retraction restores the pre-fantasy state to
+// numerical precision.
+func TestRFFApproximatesGP(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	xs, ys := randomData(rng, 60, 2)
+
+	exact := New(NewMatern52(2, 0.4), 1e-3)
+	if err := exact.Fit(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	approx, err := NewRFF(NewMatern52(2, 0.4), 1e-3, 512, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if err := approx.Observe(xs[i], ys[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var se, sy float64
+	for trial := 0; trial < 200; trial++ {
+		q := []float64{rng.Float64(), rng.Float64()}
+		me, _ := exact.Predict(q)
+		ma, _ := approx.Predict(q)
+		se += (me - ma) * (me - ma)
+		sy += me * me
+	}
+	if rel := math.Sqrt(se / sy); rel > 0.15 {
+		t.Fatalf("rff posterior mean too far from exact GP: relative rmse %g", rel)
+	}
+
+	// Fantasy round trip.
+	q := []float64{0.25, 0.75}
+	m0, v0 := approx.Predict(q)
+	fx := []float64{0.9, 0.1}
+	if err := approx.Observe(fx, -1.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := approx.Retract(fx, -1.3); err != nil {
+		t.Fatal(err)
+	}
+	m1, v1 := approx.Predict(q)
+	if math.Abs(m0-m1) > 1e-8 || math.Abs(v0-v1) > 1e-8 {
+		t.Fatalf("fantasy round trip drifted: (%g,%g) vs (%g,%g)", m0, v0, m1, v1)
+	}
+}

@@ -1,7 +1,3 @@
-// Package gp implements Gaussian-process regression as used by
-// Spearmint: an ARD Matérn-5/2 (or squared-exponential) kernel over the
-// unit hypercube, exact inference via Cholesky factorization, and
-// marginalization of kernel hyperparameters by slice sampling.
 package gp
 
 import (
@@ -13,6 +9,19 @@ import (
 
 // Kernel is a positive-definite covariance function over R^d.
 type Kernel interface {
+	// EvalRow evaluates one input against many in a single call:
+	// dst[i] = k(x, xs[i]). The GP hot path (kernel-matrix rows in
+	// Fit/Observe, k* vectors in Predict) goes through EvalRow:
+	// per-dimension inverse length scales are computed once per
+	// row instead of once per pair, and the interface dispatch happens
+	// once per row instead of once per training point.
+	//
+	// Note EvalRow multiplies by precomputed reciprocals where Eval
+	// divides, so the two may differ in the last ulp. The GP uses EvalRow
+	// consistently on every internal path, which is what makes the
+	// incremental factor updates bit-identical to batch refactorization.
+	EvalRow(x []float64, xs [][]float64, dst []float64)
+
 	// Eval returns k(a, b).
 	Eval(a, b []float64) float64
 	// Dim returns the input dimensionality the kernel is configured for.
@@ -53,6 +62,39 @@ func (k *Matern52) Eval(a, b []float64) float64 {
 	}
 	r := math.Sqrt(5 * r2)
 	return k.Amp2 * (1 + r + r*r/3) * math.Exp(-r)
+}
+
+// maxStackDims bounds the stack-allocated reciprocal-length buffer in
+// EvalRow; higher-dimensional spaces fall back to a heap slice.
+const maxStackDims = 32
+
+// invLengths fills a buffer with 1/ℓ_i, reusing buf when it is large
+// enough.
+func invLengths(buf, lengths []float64) []float64 {
+	if cap(buf) < len(lengths) {
+		buf = make([]float64, len(lengths))
+	}
+	buf = buf[:len(lengths)]
+	for i, l := range lengths {
+		buf[i] = 1 / l
+	}
+	return buf
+}
+
+// EvalRow sets dst[i] = k(x, xs[i]) without per-pair divisions.
+func (k *Matern52) EvalRow(x []float64, xs [][]float64, dst []float64) {
+	var stack [maxStackDims]float64
+	inv := invLengths(stack[:0], k.Lengths)
+	amp2 := k.Amp2
+	for i, xi := range xs {
+		r2 := 0.0
+		for j, v := range x {
+			d := (v - xi[j]) * inv[j]
+			r2 += d * d
+		}
+		r := math.Sqrt(5 * r2)
+		dst[i] = amp2 * (1 + r + r*r/3) * math.Exp(-r)
+	}
 }
 
 // Dim returns the number of input dimensions.
@@ -110,6 +152,21 @@ func (k *SquaredExp) Eval(a, b []float64) float64 {
 		r2 += d * d
 	}
 	return k.Amp2 * math.Exp(-0.5*r2)
+}
+
+// EvalRow sets dst[i] = k(x, xs[i]) without per-pair divisions.
+func (k *SquaredExp) EvalRow(x []float64, xs [][]float64, dst []float64) {
+	var stack [maxStackDims]float64
+	inv := invLengths(stack[:0], k.Lengths)
+	amp2 := k.Amp2
+	for i, xi := range xs {
+		r2 := 0.0
+		for j, v := range x {
+			d := (v - xi[j]) * inv[j]
+			r2 += d * d
+		}
+		dst[i] = amp2 * math.Exp(-0.5*r2)
+	}
 }
 
 // Dim returns the number of input dimensions.

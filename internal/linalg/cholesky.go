@@ -13,8 +13,18 @@ var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite
 // Cholesky holds the lower-triangular factor L with A = L Lᵀ, plus the
 // jitter that had to be added to the diagonal to make A numerically
 // positive definite.
+//
+// The factor supports four incremental operations used by the GP hot
+// path (see the package comment): Extend appends one row/column,
+// Shrink drops trailing rows/columns, and Update/Downdate apply
+// symmetric rank-1 modifications A ± vvᵀ. All of them cost O(n²)
+// against the O(n³) of a fresh factorization.
 type Cholesky struct {
-	L      *Matrix
+	L *Matrix
+	// Jitter is the diagonal jitter the factorization actually used.
+	// Extend adds the same jitter to the appended diagonal entry, so an
+	// incrementally grown factor agrees bit-for-bit with a batch
+	// factorization at that jitter (NewCholeskyWithJitter).
 	Jitter float64
 }
 
@@ -55,6 +65,138 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 	return nil, ErrNotPositiveDefinite
 }
 
+// NewCholeskyWithJitter factorizes a with exactly the given diagonal
+// jitter — no escalation. It is the batch counterpart of Extend: a
+// factor grown row by row from a smaller one at jitter j is
+// bit-identical to NewCholeskyWithJitter of the full matrix at j.
+func NewCholeskyWithJitter(a *Matrix, jitter float64) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	l, ok := tryCholesky(a, jitter)
+	if !ok {
+		return nil, ErrNotPositiveDefinite
+	}
+	return &Cholesky{L: l, Jitter: jitter}, nil
+}
+
+// Extend appends one row/column to the factored matrix: row holds the
+// off-diagonal entries a(n, 0..n-1) of the new row and diag the new
+// diagonal entry a(n, n), both of the raw matrix — the factor's
+// recorded jitter is added to diag internally, keeping incremental and
+// batch factorizations on the same effective matrix.
+//
+// The appended row is computed with the same operations in the same
+// order as tryCholesky would use for the last row of a full
+// factorization, so on success the result is bit-identical to
+// refactorizing the whole (n+1)×(n+1) matrix at the same jitter, for
+// O(n²) instead of O(n³). It fails with ErrNotPositiveDefinite when
+// the extended matrix is not positive definite at the recorded jitter;
+// the factor is left unchanged and the caller should refactorize in
+// full (typically with jitter escalation).
+func (c *Cholesky) Extend(row []float64, diag float64) error {
+	n := c.L.Rows
+	if len(row) != n {
+		return fmt.Errorf("linalg: extend row len %d vs %d", len(row), n)
+	}
+	var y []float64
+	if n > 0 {
+		y = c.ForwardSolve(row)
+	}
+	d := diag + c.Jitter
+	for _, v := range y {
+		d -= v * v
+	}
+	if d <= 0 || math.IsNaN(d) {
+		return ErrNotPositiveDefinite
+	}
+	m := n + 1
+	l := NewMatrix(m, m)
+	for i := 0; i < n; i++ {
+		copy(l.Data[i*m:i*m+n], c.L.Data[i*n:(i+1)*n])
+	}
+	copy(l.Data[n*m:n*m+n], y)
+	l.Data[n*m+n] = math.Sqrt(d)
+	c.L = l
+	return nil
+}
+
+// Shrink truncates the factor to its leading m×m block, undoing the
+// most recent n−m Extend calls exactly: the retained entries are
+// bit-identical to what they were before those appends. This is the
+// constant-liar retraction path — fantasy points are always appended
+// last, so dropping them is a trailing downdate.
+func (c *Cholesky) Shrink(m int) error {
+	n := c.L.Rows
+	if m < 0 || m > n {
+		return fmt.Errorf("linalg: shrink to %d rows from %d", m, n)
+	}
+	if m == n {
+		return nil
+	}
+	l := NewMatrix(m, m)
+	for i := 0; i < m; i++ {
+		copy(l.Data[i*m:(i+1)*m], c.L.Data[i*n:i*n+m])
+	}
+	c.L = l
+	return nil
+}
+
+// Update applies the symmetric rank-1 update A → A + vvᵀ to the
+// factorization in place, in O(n²) (the LINPACK dchud scheme). v is
+// not modified. An update of a positive-definite matrix cannot lose
+// positive definiteness, so Update always succeeds.
+func (c *Cholesky) Update(v []float64) {
+	n := c.L.Rows
+	if len(v) != n {
+		panic(fmt.Sprintf("linalg: update vector len %d vs %d", len(v), n))
+	}
+	w := append([]float64(nil), v...)
+	l := c.L.Data
+	for k := 0; k < n; k++ {
+		lkk := l[k*n+k]
+		r := math.Hypot(lkk, w[k])
+		cos := r / lkk
+		sin := w[k] / lkk
+		l[k*n+k] = r
+		for i := k + 1; i < n; i++ {
+			l[i*n+k] = (l[i*n+k] + sin*w[i]) / cos
+			w[i] = cos*w[i] - sin*l[i*n+k]
+		}
+	}
+}
+
+// Downdate applies the symmetric rank-1 downdate A → A − vvᵀ in
+// O(n²). It fails with ErrNotPositiveDefinite when the downdated
+// matrix would not be positive definite; the factor is left unchanged
+// in that case (the rotation runs against a scratch copy and only
+// commits on success).
+func (c *Cholesky) Downdate(v []float64) error {
+	n := c.L.Rows
+	if len(v) != n {
+		return fmt.Errorf("linalg: downdate vector len %d vs %d", len(v), n)
+	}
+	w := append([]float64(nil), v...)
+	l := append([]float64(nil), c.L.Data...)
+	for k := 0; k < n; k++ {
+		lkk := l[k*n+k]
+		d := (lkk - w[k]) * (lkk + w[k])
+		if d <= 0 || math.IsNaN(d) {
+			return ErrNotPositiveDefinite
+		}
+		r := math.Sqrt(d)
+		cos := r / lkk
+		sin := w[k] / lkk
+		l[k*n+k] = r
+		for i := k + 1; i < n; i++ {
+			l[i*n+k] = (l[i*n+k] - sin*w[i]) / cos
+			w[i] = cos*w[i] - sin*l[i*n+k]
+		}
+	}
+	copy(c.L.Data, l)
+	return nil
+}
+
 func tryCholesky(a *Matrix, jitter float64) (*Matrix, bool) {
 	n := a.Rows
 	l := NewMatrix(n, n)
@@ -90,37 +232,48 @@ func (c *Cholesky) SolveVec(b []float64) []float64 {
 
 // ForwardSolve solves L y = b.
 func (c *Cholesky) ForwardSolve(b []float64) []float64 {
+	return c.ForwardSolveInto(make([]float64, c.L.Rows), b)
+}
+
+// ForwardSolveInto solves L y = b into dst (which must not alias b)
+// and returns it. The allocation-free variant of ForwardSolve for
+// per-candidate posterior variance in the acquisition scorer.
+func (c *Cholesky) ForwardSolveInto(dst, b []float64) []float64 {
 	n := c.L.Rows
-	if len(b) != n {
-		panic(fmt.Sprintf("linalg: forward solve len %d vs %d", len(b), n))
+	if len(b) != n || len(dst) != n {
+		panic(fmt.Sprintf("linalg: forward solve len %d/%d vs %d", len(dst), len(b), n))
 	}
-	y := make([]float64, n)
 	for i := 0; i < n; i++ {
 		s := b[i]
 		row := c.L.Data[i*n : i*n+i]
 		for k, lik := range row {
-			s -= lik * y[k]
+			s -= lik * dst[k]
 		}
-		y[i] = s / c.L.Data[i*n+i]
+		dst[i] = s / c.L.Data[i*n+i]
 	}
-	return y
+	return dst
 }
 
 // BackSolve solves Lᵀ x = y.
 func (c *Cholesky) BackSolve(y []float64) []float64 {
+	return c.BackSolveInto(make([]float64, c.L.Rows), y)
+}
+
+// BackSolveInto solves Lᵀ x = y into dst (which must not alias y) and
+// returns it.
+func (c *Cholesky) BackSolveInto(dst, y []float64) []float64 {
 	n := c.L.Rows
-	if len(y) != n {
-		panic(fmt.Sprintf("linalg: back solve len %d vs %d", len(y), n))
+	if len(y) != n || len(dst) != n {
+		panic(fmt.Sprintf("linalg: back solve len %d/%d vs %d", len(dst), len(y), n))
 	}
-	x := make([]float64, n)
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
-			s -= c.L.Data[k*n+i] * x[k]
+			s -= c.L.Data[k*n+i] * dst[k]
 		}
-		x[i] = s / c.L.Data[i*n+i]
+		dst[i] = s / c.L.Data[i*n+i]
 	}
-	return x
+	return dst
 }
 
 // LogDet returns log|A| = 2 Σ log L_ii.

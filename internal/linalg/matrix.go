@@ -1,6 +1,17 @@
 // Package linalg provides the dense linear algebra needed by the
-// Gaussian-process stack: column-major-free row-major matrices, Cholesky
-// factorization with adaptive jitter, and triangular solves.
+// Gaussian-process stack: row-major matrices, Cholesky factorization
+// with adaptive jitter, triangular solves, and incremental factor
+// maintenance.
+//
+// The incremental operations are what make the BO hot path fast. A
+// Cholesky factor can be Extended by one row/column (a new GP
+// observation), Shrunk back (fantasy retraction), and rank-1
+// Updated/Downdated (the random-Fourier-feature surrogate's normal
+// equations) — each in O(n²) against the O(n³) of refactorizing.
+// Extend records and reuses the jitter of the original factorization,
+// so an incrementally grown factor agrees bit-for-bit with a batch
+// factorization at the same jitter; the gp package's cache and its
+// pinned parity tests depend on that contract.
 //
 // It is deliberately small: the GP code only ever needs symmetric
 // positive-definite systems, so there is no general LU or QR here.

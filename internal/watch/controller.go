@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"stormtune/internal/bo"
 	"stormtune/internal/cluster"
 	"stormtune/internal/core"
 	"stormtune/internal/storm"
@@ -145,6 +146,7 @@ type Controller struct {
 	sessSeed  int64
 	incumbent *core.WarmObservation
 	history   []core.WarmObservation
+	hypers    *bo.HyperState
 	sess      *core.Session
 	sinceSnap int
 }
@@ -317,10 +319,15 @@ func (c *Controller) runTune(ctx context.Context) error {
 }
 
 // adoptSessionLocked folds a finished session into the watch state:
-// the incumbent, the warm-start history and the cumulative run-index
-// offset. Callers hold mu.
+// the incumbent, the warm-start history, the hyperparameter posterior
+// and the cumulative run-index offset. Callers hold mu.
 func (c *Controller) adoptSessionLocked(sess *core.Session, res core.TuneResult, best core.RunRecord) {
 	c.incumbent = &core.WarmObservation{Config: best.Config, Y: best.Result.Throughput}
+	if bs, ok := sess.Strategy().(*core.BOStrategy); ok {
+		if hs := bs.HyperState(); hs != nil {
+			c.hypers = hs
+		}
+	}
 	for _, r := range res.Records {
 		y := r.Result.Throughput
 		if r.Result.Failed {
@@ -451,10 +458,17 @@ func (c *Controller) runRetune(ctx context.Context) error {
 }
 
 // retuneStrategyLocked builds the episode's conservative strategy from
-// the current incumbent and history. Callers hold mu.
+// the current incumbent, history and captured hyperparameter
+// posterior. The freshest captured posterior wins over any
+// caller-supplied Retune.InitHypers, which only seeds episodes run
+// before the watch has completed a session of its own. Callers hold mu.
 func (c *Controller) retuneStrategyLocked() core.Strategy {
+	ro := c.opts.Retune
+	if c.hypers != nil {
+		ro.InitHypers = c.hypers
+	}
 	return core.NewRetuneBO(c.topology, c.spec, c.template, c.seededBO(c.sessSeed),
-		*c.incumbent, c.history, c.opts.Retune)
+		*c.incumbent, c.history, ro)
 }
 
 // seededBO returns the watch's BO options with the session seed.

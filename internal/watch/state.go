@@ -3,6 +3,7 @@ package watch
 import (
 	"fmt"
 
+	"stormtune/internal/bo"
 	"stormtune/internal/cluster"
 	"stormtune/internal/core"
 	"stormtune/internal/storm"
@@ -32,8 +33,13 @@ type State struct {
 	SessionSeed int64                  `json:"sessionSeed"`
 	Incumbent   *core.WarmObservation  `json:"incumbent,omitempty"`
 	History     []core.WarmObservation `json:"history,omitempty"`
-	Monitor     MonitorState           `json:"monitor"`
-	Session     *core.SessionState     `json:"session,omitempty"`
+	// Hypers is the hyperparameter posterior captured from the last
+	// completed session; retune episodes warm-start from it, so a
+	// resumed mid-retune session must rebuild its strategy with the
+	// same posterior to continue bit-identically.
+	Hypers  *bo.HyperState     `json:"hypers,omitempty"`
+	Monitor MonitorState       `json:"monitor"`
+	Session *core.SessionState `json:"session,omitempty"`
 }
 
 // Snapshot freezes the watch. Safe to call from observer callbacks and
@@ -49,6 +55,7 @@ func (c *Controller) Snapshot() *State {
 		RunOffset:   c.runOffset,
 		SessionSeed: c.sessSeed,
 		History:     append([]core.WarmObservation(nil), c.history...),
+		Hypers:      c.hypers,
 		Monitor:     c.monitor.State(),
 	}
 	if c.incumbent != nil {
@@ -98,6 +105,7 @@ func Resume(st *State, t *topo.Topology, spec cluster.Spec, template storm.Confi
 		c.sessSeed = st.SessionSeed
 	}
 	c.history = append([]core.WarmObservation(nil), st.History...)
+	c.hypers = st.Hypers
 	if st.Incumbent != nil {
 		inc := *st.Incumbent
 		c.incumbent = &inc

@@ -234,6 +234,50 @@ func TestWatchSnapshotResumeMidRetune(t *testing.T) {
 	}
 }
 
+// TestWatchCapturesHyperState checks the transfer of the GP
+// hyperparameter posterior across the watch's sessions: the initial
+// tune's posterior is captured, persisted in snapshots, and restored
+// on resume so retune episodes warm-start from it bit-identically.
+func TestWatchCapturesHyperState(t *testing.T) {
+	tp := watchTopo()
+	c := New(tp, watchSpec(), storm.DefaultSyntheticConfig(tp, 1),
+		core.AsBackend(flashEval(tp)), fastBO(), watchOpts(nil))
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Snapshot()
+	if st.Hypers == nil || len(st.Hypers.Hypers) == 0 {
+		t.Fatal("finished watch snapshot carries no hyperparameter posterior")
+	}
+
+	raw, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back State
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	rc, err := Resume(&back, tp, watchSpec(), storm.DefaultSyntheticConfig(tp, 1),
+		core.AsBackend(flashEval(tp)), fastBO(), watchOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.mu.Lock()
+	got := rc.hypers
+	rc.mu.Unlock()
+	if got == nil || len(got.Hypers) != len(st.Hypers.Hypers) {
+		t.Fatal("resume dropped the hyperparameter posterior")
+	}
+	for i := range got.Hypers {
+		for j := range got.Hypers[i] {
+			if got.Hypers[i][j] != st.Hypers.Hypers[i][j] {
+				t.Fatalf("hyper sample %d changed across the JSON round trip", i)
+			}
+		}
+	}
+}
+
 // Resume validates its input.
 func TestResumeRejectsBadState(t *testing.T) {
 	tp := watchTopo()

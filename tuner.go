@@ -314,6 +314,17 @@ func (tn *Tuner) Result() TuneResult { return tn.sess.Result() }
 // failed (or none completed).
 func (tn *Tuner) Best() (RunRecord, bool) { return tn.sess.Result().Best() }
 
+// HyperState returns the built-in Bayesian strategy's current
+// hyperparameter posterior, or nil before its first GP fit (or when
+// the session runs a custom strategy). Hand it to a follow-up session
+// via RetuneOptions.InitHypers to warm-start its hyperparameters.
+func (tn *Tuner) HyperState() *HyperState {
+	if bs, ok := tn.sess.Strategy().(*core.BOStrategy); ok {
+		return bs.HyperState()
+	}
+	return nil
+}
+
 // MaxParallel reports how many concurrent trials of the template
 // configuration the session's cluster can host — the bound RunAsync
 // clamps its q to.

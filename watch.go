@@ -68,6 +68,12 @@ type (
 	// region around the incumbent that widens after consecutive
 	// improvements and shrinks on regressions.
 	RetuneOptions = core.RetuneOptions
+	// HyperState is a serializable GP hyperparameter posterior,
+	// captured from a running session (Tuner.HyperState) and fed to a
+	// later one (RetuneOptions.InitHypers) to skip its cold
+	// slice-sampling burn. Watches do this automatically between
+	// their own episodes.
+	HyperState = bo.HyperState
 	// HoldSampled reports one monitoring measurement of the incumbent
 	// while a watch holds.
 	HoldSampled = core.HoldSampled
