@@ -12,7 +12,7 @@ SHELL := /bin/bash
 GATE_BENCH   = ^Benchmark(BOSuggest(Sequential|Parallel)Scorer|BOSuggestLargeHistory(/n\d+)?|GPObserveIncremental|FleetSchedule|MonitorObserve|ArchiveQuery|WarmStartSeed)$$
 GATE_PERCENT = 0.30
 
-.PHONY: build test lint stormlint bench bench-baseline bench-gate bench-gp dash-smoke fleet-smoke watch-smoke archive-smoke
+.PHONY: build test lint stormlint bench bench-baseline bench-gate bench-gp dash-smoke fleet-smoke serve-multi-smoke watch-smoke archive-smoke
 
 build:
 	go build ./... && go build ./examples/...
@@ -69,6 +69,12 @@ dash-smoke:
 # `stormtune fleet` run, /api/fleet + per-session SSE probes.
 fleet-smoke:
 	./scripts/fleet-smoke.sh
+
+# The CI serving-plane smoke test: one authed worker serving two
+# topologies, a heterogeneous fleet over it, a kill -9 mid-run, and a
+# `-resume` that must reproduce the uninterrupted run's summary.
+serve-multi-smoke:
+	./scripts/serve-multi-smoke.sh
 
 # The CI continuous-tuning smoke test: a live `stormtune watch` under a
 # flash-crowd drift, asserting the retune episode shows up in

@@ -2,7 +2,6 @@ package stormtune
 
 import (
 	"context"
-	"fmt"
 
 	"stormtune/internal/cluster"
 	"stormtune/internal/core"
@@ -159,28 +158,6 @@ func NewBO(t *Topology, spec ClusterSpec, template Config, opts BOOptions) Strat
 	return core.NewBO(t, spec, template, opts)
 }
 
-// Tune runs one optimization pass.
-//
-// Deprecated: build a session with NewTuner (passing the strategy via
-// TunerOptions.Strategy if it is not the built-in optimizer) and call
-// Tuner.Run for cancellation, events and snapshot support. Tune remains
-// as a thin wrapper over the session API.
-func Tune(ev Evaluator, strat Strategy, maxSteps, stopAfterZeros int) TuneResult {
-	return core.Tune(ev, strat, maxSteps, stopAfterZeros, 0)
-}
-
-// TuneBatch runs one optimization pass dispatching q trial deployments
-// per round and evaluating them concurrently. BO strategies propose the
-// batch with the constant-liar strategy; q ≤ 1 reproduces Tune. Results
-// are deterministic for a fixed seed.
-//
-// Deprecated: build a session with NewTuner and call Tuner.RunBatch —
-// or Tuner.RunAsync for free-slot refill instead of barrier rounds.
-// TuneBatch remains as a thin wrapper over the session API.
-func TuneBatch(ev Evaluator, strat Strategy, maxSteps, q, stopAfterZeros int) TuneResult {
-	return core.TuneBatch(ev, strat, maxSteps, q, stopAfterZeros, 0)
-}
-
 // MaxConcurrentTrials reports how many trial deployments needing
 // tasksPerTrial task instances a cluster can host at once — the upper
 // bound for TuneBatch's q on real hardware.
@@ -204,51 +181,4 @@ func RunProtocol(b Backend, factory func(pass int) Strategy, p Protocol) Outcome
 // together with ctx's error.
 func RunProtocolContext(ctx context.Context, b Backend, factory func(pass int) Strategy, p Protocol) (Outcome, error) {
 	return core.RunProtocolContext(ctx, b, core.StrategyFactory(factory), p)
-}
-
-// AutoTuneOptions configure the high-level convenience entry point.
-type AutoTuneOptions struct {
-	// Steps is the evaluation budget (default 60, as in the paper).
-	Steps int
-	// Set selects the searched parameters (default Hints).
-	Set ParamSet
-	// Template supplies the non-searched parameters; zero value uses
-	// the paper's §V-D deployment defaults with hint 1.
-	Template *Config
-	// Cluster defaults to the paper's 80-machine cluster.
-	Cluster *ClusterSpec
-	// Seed drives the optimizer (default 1).
-	Seed int64
-	// Parallel dispatches that many trial deployments per round using
-	// constant-liar batch suggestion (default 1 = the paper's sequential
-	// procedure).
-	Parallel int
-}
-
-// AutoTune searches for a good configuration of t against ev with
-// Bayesian optimization and returns the best configuration found along
-// with its measured result.
-//
-// Deprecated: build a session with NewTuner and call Tuner.RunBatch (or
-// Tuner.RunAsync); the session API adds cancellation, events, ask/tell
-// control and snapshot/resume. AutoTune remains as a thin wrapper.
-func AutoTune(t *Topology, ev Evaluator, opts AutoTuneOptions) (Config, Result, error) {
-	tn, err := NewTuner(t, AsBackend(ev), TunerOptions{
-		Steps:    opts.Steps,
-		Set:      opts.Set,
-		Template: opts.Template,
-		Cluster:  opts.Cluster,
-		Seed:     opts.Seed,
-	})
-	if err != nil {
-		return Config{}, Result{}, err
-	}
-	if _, err := tn.RunBatch(context.Background(), opts.Parallel); err != nil {
-		return Config{}, Result{}, err
-	}
-	best, ok := tn.Best()
-	if !ok {
-		return Config{}, Result{}, fmt.Errorf("stormtune: no successful run in %d steps", tn.opts.Steps)
-	}
-	return best.Config, best.Result, nil
 }

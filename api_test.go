@@ -1,21 +1,30 @@
 package stormtune
 
 import (
+	"context"
 	"testing"
 )
 
 func TestPublicQuickstartPath(t *testing.T) {
 	top := BuildSynthetic("small", Condition{}, 1)
 	ev := NewFluidSim(top, PaperCluster(), SinkTuples, 1)
-	cfg, res, err := AutoTune(top, ev, AutoTuneOptions{Steps: 8, Seed: 2})
+	tn, err := NewTuner(top, AsBackend(ev), TunerOptions{Steps: 8, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Throughput <= 0 {
-		t.Fatalf("throughput = %v", res.Throughput)
+	tr, err := tn.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(cfg.Hints) != top.N() {
-		t.Fatalf("config has %d hints for %d nodes", len(cfg.Hints), top.N())
+	best, ok := tr.Best()
+	if !ok {
+		t.Fatalf("no successful run: %+v", tr)
+	}
+	if best.Result.Throughput <= 0 {
+		t.Fatalf("throughput = %v", best.Result.Throughput)
+	}
+	if len(best.Config.Hints) != top.N() {
+		t.Fatalf("config has %d hints for %d nodes", len(best.Config.Hints), top.N())
 	}
 }
 
@@ -31,7 +40,16 @@ func TestPublicCustomTopology(t *testing.T) {
 		t.Fatal(err)
 	}
 	ev := NewFluidSim(top, SmallCluster(), SinkTuples, 1)
-	tr := Tune(ev, NewPLA(top, DefaultSyntheticConfig(top, 1)), 10, 3)
+	tn, err := NewTuner(top, AsBackend(ev), TunerOptions{
+		Steps: 10, Strategy: NewPLA(top, DefaultSyntheticConfig(top, 1)), StopAfterZeros: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tn.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if best, ok := tr.Best(); !ok || best.Result.Throughput <= 0 {
 		t.Fatalf("pla found nothing: %+v", tr)
 	}
@@ -57,7 +75,7 @@ func TestPublicProtocol(t *testing.T) {
 	}
 }
 
-func TestPublicTuneBatch(t *testing.T) {
+func TestPublicTunerBatchDriver(t *testing.T) {
 	top := BuildSynthetic("small", Condition{}, 1)
 	spec := SmallCluster()
 	ev := NewFluidSim(top, spec, SinkTuples, 1)
@@ -65,7 +83,17 @@ func TestPublicTuneBatch(t *testing.T) {
 	if _, ok := strat.(BatchStrategy); !ok {
 		t.Fatal("BO strategy should expose batch suggestion")
 	}
-	tr := TuneBatch(ev, strat, 8, 4, 0)
+	tn, err := NewTuner(top, AsBackend(ev), TunerOptions{
+		Steps: 8, Strategy: strat, Cluster: &spec,
+		Template: ptrConfig(DefaultSyntheticConfig(top, 1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tn.RunBatch(context.Background(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(tr.Records) != 8 {
 		t.Fatalf("ran %d steps, want 8", len(tr.Records))
 	}
@@ -77,29 +105,47 @@ func TestPublicTuneBatch(t *testing.T) {
 	}
 }
 
-func TestPublicAutoTuneParallel(t *testing.T) {
+func ptrConfig(c Config) *Config { return &c }
+
+func TestPublicTunerParallel(t *testing.T) {
 	top := BuildSynthetic("small", Condition{}, 1)
 	ev := NewFluidSim(top, PaperCluster(), SinkTuples, 1)
-	cfg, res, err := AutoTune(top, ev, AutoTuneOptions{Steps: 8, Seed: 2, Parallel: 2})
+	tn, err := NewTuner(top, AsBackend(ev), TunerOptions{Steps: 8, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Throughput <= 0 {
-		t.Fatalf("throughput = %v", res.Throughput)
+	tr, err := tn.RunBatch(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if len(cfg.Hints) != top.N() {
-		t.Fatalf("config has %d hints for %d nodes", len(cfg.Hints), top.N())
+	best, ok := tr.Best()
+	if !ok {
+		t.Fatalf("no successful run: %+v", tr)
+	}
+	if best.Result.Throughput <= 0 {
+		t.Fatalf("throughput = %v", best.Result.Throughput)
+	}
+	if len(best.Config.Hints) != top.N() {
+		t.Fatalf("config has %d hints for %d nodes", len(best.Config.Hints), top.N())
 	}
 }
 
-func TestAutoTuneErrorsWithoutSuccess(t *testing.T) {
+func TestTunerNoSuccessfulRun(t *testing.T) {
 	top := BuildSynthetic("small", Condition{}, 1)
 	// A one-machine cluster with one slot cannot place the topology at
 	// all: every run fails.
 	tiny := ClusterSpec{Machines: 1, CoresPerMachine: 1, CoreMillisPerSec: 1000,
 		NICBytesPerSec: 1e6, TaskSlotsPerMachine: 1, ThrashTasksPerCore: 1}
 	ev := NewFluidSim(top, tiny, SinkTuples, 1)
-	if _, _, err := AutoTune(top, ev, AutoTuneOptions{Steps: 3, Cluster: &tiny}); err == nil {
-		t.Fatal("expected error when every run fails")
+	tn, err := NewTuner(top, AsBackend(ev), TunerOptions{Steps: 3, Cluster: &tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := tn.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := tr.Best(); ok {
+		t.Fatal("expected no successful run on an unplaceable cluster")
 	}
 }

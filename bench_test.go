@@ -330,7 +330,16 @@ func BenchmarkTuneBatch(b *testing.B) {
 			Seed: int64(i + 1),
 			Opt:  bo.Options{Candidates: 150, HyperSamples: 2, LocalSearchIters: 4},
 		})
-		res := stormtune.TuneBatch(ev, strat, 12, 4, 0)
+		tn, err := stormtune.NewTuner(t, stormtune.AsBackend(ev), stormtune.TunerOptions{
+			Steps: 12, Strategy: strat, Cluster: &spec, Template: &template,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tn.RunBatch(context.Background(), 4)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(res.Records) == 0 {
 			b.Fatal("no records")
 		}

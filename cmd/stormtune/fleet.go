@@ -1,9 +1,11 @@
 // The fleet subcommand: run many tuning sessions concurrently over one
-// shared worker pool, with an aggregated dashboard.
+// shared worker pool, with an aggregated dashboard and a crash-safe
+// progress log.
 //
 //	stormtune fleet -manifest fleet.json [-dash ADDR] [-slots N]
 //	                [-timeout D] [-retries N] [-retry-backoff D]
-//	                [-trial-timeout D] [-archive DIR] [-quiet]
+//	                [-trial-timeout D] [-archive DIR] [-token T]
+//	                [-state fleet.log] [-resume] [-quiet]
 //
 // -archive DIR gives every session one shared session archive: each
 // records its trials there, warm-starts from sufficiently similar
@@ -12,34 +14,47 @@
 // (incumbent sharing). The records seal when the fleet finishes
 // cleanly.
 //
+// -state FILE streams every member's events and session snapshots to an
+// append-only log as the fleet runs; after a crash or kill,
+// `stormtune fleet -manifest ... -state FILE -resume` restores every
+// member from its last durable snapshot and continues — bit-identically
+// to a run that was never interrupted, mid-retry trials included. With
+// -state, sessions that do not set "maxInFlight" run sequentially
+// (maxInFlight 1): a member's record sequence must be deterministic for
+// the resumed run to be bit-exact.
+//
 // The manifest is a small JSON document naming the shared workers and
 // the sessions to run over them:
 //
 //	{
 //	  "title": "nightly retune",
 //	  "workers": ["http://127.0.0.1:8077", "http://127.0.0.1:8078"],
+//	  "token": "s3cret",
 //	  "slots": 2,
 //	  "sessions": [
-//	    {"name": "bo-a", "topology": "small", "strategy": "bo",
+//	    {"name": "bo-small", "topology": "small", "strategy": "bo",
 //	     "steps": 40, "seed": 1, "weight": 1},
-//	    {"name": "bo-b", "topology": "small", "strategy": "ibo",
-//	     "steps": 30, "seed": 2, "weight": 2}
+//	    {"name": "bo-large", "topology": "large", "strategy": "ibo",
+//	     "steps": 30, "seed": 2, "weight": 2, "maxInFlight": 1}
 //	  ]
 //	}
 //
 // With "workers" set, every session tunes over one shared pool of
-// `stormtune serve` processes; since each worker serves a single
-// topology, all sessions must then tune that topology (budgets,
-// strategies, seeds and weights are free to differ — the check is by
-// structural fingerprint, exactly like `stormtune tune -remote`).
-// Without workers each session evaluates against its own in-process
-// simulator and the sessions may tune different topologies; the fleet
-// scheduler still enforces the shared slot budget, which then models a
-// shared cluster's trial capacity.
+// `stormtune serve` processes. Workers are multi-tenant — each serves
+// any set of topologies (`stormtune serve -topology small,large`) and
+// routes trials by structural fingerprint — so a fleet's sessions may
+// tune different topologies over the same pool; the only requirement,
+// checked up front, is that every session's topology is served by at
+// least one worker. "token" (or -token) authenticates against workers
+// started with `serve -token`. Without workers each session evaluates
+// against its own in-process simulator; the fleet scheduler still
+// enforces the shared slot budget, which then models a shared cluster's
+// trial capacity.
 //
 // "slots" caps the fleet-wide number of in-flight trials (default: the
 // worker count, or the session count in-process). Each session is
-// additionally capped by its own cluster's concurrent-trial capacity.
+// additionally capped by its own cluster's concurrent-trial capacity,
+// or by its "maxInFlight" when set.
 package main
 
 import (
@@ -64,6 +79,9 @@ type fleetManifest struct {
 	// Workers are `stormtune serve` URLs forming the shared pool; empty
 	// means in-process simulators.
 	Workers []string `json:"workers,omitempty"`
+	// Token is the bearer token the workers require; the -token flag
+	// overrides it.
+	Token string `json:"token,omitempty"`
 	// Slots is the fleet-wide in-flight trial cap; 0 defaults to
 	// len(Workers), or len(Sessions) in-process.
 	Slots int `json:"slots,omitempty"`
@@ -87,6 +105,11 @@ type fleetSession struct {
 	Params string `json:"params,omitempty"`
 	// Weight scales the session's share of slot grants (≤ 0 means 1).
 	Weight float64 `json:"weight,omitempty"`
+	// MaxInFlight caps the session's own concurrent trials; 0 keeps the
+	// cluster-derived bound — except under -state, which defaults it to
+	// 1 (sequential) so the member's record sequence is deterministic and
+	// a resumed run is bit-identical.
+	MaxInFlight int `json:"maxInFlight,omitempty"`
 	// StopAfterZeros overrides the strategy default (3 for pla/ipla).
 	StopAfterZeros int `json:"stopAfterZeros,omitempty"`
 }
@@ -127,16 +150,17 @@ func loadManifest(path string) (*fleetManifest, error) {
 // needs, minus the backend (the shared pool is built after every
 // session's topology has been checked against it).
 type preparedSession struct {
-	name     string
-	weight   float64
-	topology *stormtune.Topology
-	ev       stormtune.Evaluator
-	metric   stormtune.Metric
-	opts     stormtune.TunerOptions
-	strategy string
-	steps    int
-	seed     int64
-	samples  int
+	name        string
+	weight      float64
+	maxInFlight int
+	topology    *stormtune.Topology
+	ev          stormtune.Evaluator
+	metric      stormtune.Metric
+	opts        stormtune.TunerOptions
+	strategy    string
+	steps       int
+	seed        int64
+	samples     int
 }
 
 // prepareSessions resolves the manifest entries: topologies built,
@@ -211,7 +235,8 @@ func prepareSessions(man *fleetManifest, trialTimeout time.Duration,
 			opts.StopAfterZeros = s.StopAfterZeros
 		}
 		out = append(out, preparedSession{
-			name: name, weight: s.Weight, topology: t, ev: ev, metric: metric,
+			name: name, weight: s.Weight, maxInFlight: s.MaxInFlight,
+			topology: t, ev: ev, metric: metric,
 			opts: opts, strategy: strategy, steps: s.Steps, seed: s.Seed,
 			samples: s.Samples,
 		})
@@ -224,11 +249,11 @@ func runFleet(args []string) {
 	manifestPath := fs.String("manifest", "", "path to the fleet manifest JSON (required)")
 	slotsFlag := fs.Int("slots", 0, "override the manifest's fleet-wide in-flight trial cap")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole fleet (0 = none)")
-	retries := fs.Int("retries", 3, "evaluation attempts per trial before recording a pessimistic failure")
-	retryBackoff := fs.Duration("retry-backoff", time.Second, "wait before a trial's first retry (doubles per attempt)")
-	trialTimeout := fs.Duration("trial-timeout", 0, "deadline per evaluation attempt (0 = none)")
+	ef := addEvalFlags(fs, true, "record every session into the shared archive at DIR, warm-start from it, and share incumbents across members mid-run")
+	token := fs.String("token", "", "bearer token the workers require (overrides the manifest's \"token\")")
+	statePath := fs.String("state", "", "stream fleet progress to this append-only log (crash-safe resume point)")
+	resume := fs.Bool("resume", false, "resume a killed run from the -state log instead of starting fresh")
 	dashAddr := fs.String("dash", "", "serve the aggregated fleet dashboard on this address (e.g. :8090)")
-	archiveDir := fs.String("archive", "", "record every session into the shared archive at DIR, warm-start from it, and share incumbents across members mid-run")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	fs.Parse(args)
 
@@ -237,11 +262,19 @@ func runFleet(args []string) {
 		fs.Usage()
 		os.Exit(2)
 	}
+	if *resume && *statePath == "" {
+		fmt.Fprintln(os.Stderr, "error: -resume needs -state (the log to resume from)")
+		os.Exit(2)
+	}
 	man, err := loadManifest(*manifestPath)
 	if err != nil {
 		fatal(err)
 	}
 	remote := len(man.Workers) > 0
+	workerToken := man.Token
+	if *token != "" {
+		workerToken = *token
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -282,7 +315,7 @@ func runFleet(args []string) {
 		})
 	}
 
-	prepared, err := prepareSessions(man, *trialTimeout, progress)
+	prepared, err := prepareSessions(man, ef.trialDeadline(), progress)
 	if err != nil {
 		fatal(err)
 	}
@@ -293,12 +326,11 @@ func runFleet(args []string) {
 	// One shared archive for the whole fleet: every member records into
 	// it, warm-starts from it, and shares new incumbents with its
 	// siblings mid-run.
-	var arch *stormtune.DiskArchive
-	if *archiveDir != "" {
-		arch, err = stormtune.OpenArchive(*archiveDir)
-		if err != nil {
-			fatal(fmt.Errorf("archive: %w", err))
-		}
+	arch, err := ef.openArchive()
+	if err != nil {
+		fatal(err)
+	}
+	if arch != nil {
 		defer arch.Close()
 		for i := range prepared {
 			prepared[i].opts.Archive = arch
@@ -306,36 +338,51 @@ func runFleet(args []string) {
 		}
 	}
 
-	retry := stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+	retry := ef.retryPolicy()
 	mode := "in-process simulators"
 
-	// The shared backend: in remote mode one pool of workers every
-	// session tunes over — which requires every session to tune the
-	// topology the workers serve (checked by structural fingerprint).
+	// The shared backend: in remote mode one pool of multi-tenant
+	// workers every session tunes over. Workers route trials by
+	// structural fingerprint, so a heterogeneous fleet works as long as
+	// every session's topology is served somewhere in the pool — checked
+	// up front so a misconfigured fleet fails before any trial runs.
 	var pool *stormtune.BackendPool
 	if remote {
 		mode = fmt.Sprintf("%d shared remote worker(s)", len(man.Workers))
-		fp := stormtune.TopologyFingerprint(prepared[0].topology)
+		clients := make([]*stormtune.RemoteBackend, 0, len(man.Workers))
+		var workers []stormtune.Backend
+		for _, u := range splitList(strings.Join(man.Workers, ",")) {
+			rb := stormtune.NewRemoteBackend(u, remoteOptions(workerToken))
+			// Info primes the client's served-fingerprint cache, which both
+			// the coverage check below and pool routing consult.
+			if _, err := rb.Info(ctx); err != nil {
+				fatal(err)
+			}
+			clients = append(clients, rb)
+			workers = append(workers, rb)
+		}
 		for _, p := range prepared {
 			if p.samples > 1 {
 				fatal(fmt.Errorf("session %q: samples has no effect with shared workers; start them with `stormtune serve -samples K`", p.name))
 			}
-			if got := stormtune.TopologyFingerprint(p.topology); got != fp {
-				fatal(fmt.Errorf("session %q tunes a different topology than session %q: a shared worker pool serves exactly one (run heterogeneous fleets in-process, without \"workers\")",
-					p.name, prepared[0].name))
+			fp := stormtune.TopologyFingerprint(p.topology)
+			covered := false
+			for _, rb := range clients {
+				if !rb.Serves(fp) {
+					continue
+				}
+				// The worker claims the fingerprint; verify name and metric
+				// agree before trusting it with the session's trials.
+				if _, err := stormtune.CheckRemoteBackend(ctx, rb, p.topology, p.metric); err != nil {
+					fatal(err)
+				}
+				covered = true
+				break
 			}
-		}
-		var workers []stormtune.Backend
-		for _, u := range man.Workers {
-			u = strings.TrimSpace(u)
-			if u == "" {
-				continue
+			if !covered {
+				fatal(fmt.Errorf("session %q: no worker serves %s [%s] — add the topology to a worker's `stormtune serve -topology` list",
+					p.name, p.topology.Name, fp))
 			}
-			rb := stormtune.NewRemoteBackend(u, stormtune.RemoteBackendOptions{TransportRetries: 2})
-			if _, err := stormtune.CheckRemoteBackend(ctx, rb, prepared[0].topology, prepared[0].metric); err != nil {
-				fatal(err)
-			}
-			workers = append(workers, rb)
 		}
 		pool, err = stormtune.NewBackendPool(workers...)
 		if err != nil {
@@ -355,7 +402,24 @@ func runFleet(args []string) {
 		}
 	}
 
+	// The crash-safe progress log: a fresh run truncates, -resume
+	// recovers the last durable snapshot per member and appends to the
+	// same file.
+	var flog *stormtune.FleetLog
+	if *statePath != "" {
+		if *resume {
+			flog, err = stormtune.OpenFleetLog(*statePath)
+		} else {
+			flog, err = stormtune.CreateFleetLog(*statePath)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		defer flog.Close()
+	}
+
 	fleetMembers := make([]stormtune.FleetMember, len(prepared))
+	resumed := 0
 	for i, p := range prepared {
 		var backend stormtune.Backend
 		if pool != nil {
@@ -363,15 +427,39 @@ func runFleet(args []string) {
 			p.opts.Retry = retry
 		} else {
 			backend = stormtune.AsBackend(p.ev)
-			if *retries > 1 {
+			if ef.wantsRetry() {
 				p.opts.Retry = retry
 			}
 		}
-		tn, err := stormtune.NewTuner(p.topology, backend, p.opts)
-		if err != nil {
-			fatal(fmt.Errorf("session %q: %w", p.name, err))
+		maxInFlight := p.maxInFlight
+		if flog != nil && maxInFlight == 0 {
+			// Bit-identical resume needs a deterministic per-member record
+			// sequence, which only sequential dispatch guarantees.
+			maxInFlight = 1
 		}
-		fleetMembers[i] = stormtune.FleetMember{Name: p.name, Tuner: tn, Weight: p.weight}
+		var tn *stormtune.Tuner
+		if *resume {
+			st, err := flog.MemberState(p.name)
+			if err != nil {
+				fatal(err)
+			}
+			if st != nil {
+				tn, err = stormtune.ResumeTuner(st, p.topology, backend, p.opts)
+				if err != nil {
+					fatal(fmt.Errorf("session %q: resuming: %w", p.name, err))
+				}
+				resumed++
+			}
+		}
+		if tn == nil {
+			tn, err = stormtune.NewTuner(p.topology, backend, p.opts)
+			if err != nil {
+				fatal(fmt.Errorf("session %q: %w", p.name, err))
+			}
+		}
+		fleetMembers[i] = stormtune.FleetMember{
+			Name: p.name, Tuner: tn, Weight: p.weight, MaxInFlight: maxInFlight,
+		}
 		if arch != nil && !*quiet {
 			if ts := tn.Transfer(); ts != nil {
 				fmt.Printf("%s: warm start from %s (similarity %.2f)\n", p.name, ts.Donor, ts.Similarity)
@@ -380,8 +468,13 @@ func runFleet(args []string) {
 			}
 		}
 	}
+	if *resume {
+		fmt.Printf("resuming %d of %d session(s) from %s\n", resumed, len(prepared), *statePath)
+	} else if flog != nil {
+		fmt.Printf("logging fleet progress to %s (resume with -state %s -resume)\n", *statePath, *statePath)
+	}
 	fleet, err := stormtune.NewFleet(
-		stormtune.FleetOptions{Slots: slots, ShareIncumbents: arch != nil}, fleetMembers...)
+		stormtune.FleetOptions{Slots: slots, ShareIncumbents: arch != nil, Log: flog}, fleetMembers...)
 	if err != nil {
 		fatal(err)
 	}
@@ -456,6 +549,13 @@ func runFleet(args []string) {
 	if arch != nil && err == nil {
 		if serr := stormtune.SealFleetArchives(fleetMembers...); serr != nil {
 			fmt.Fprintln(os.Stderr, "archive seal:", serr)
+		}
+	}
+	// A fleet log that hit a write error must not be trusted for resume;
+	// surface it loudly rather than leaving a silently short log behind.
+	if flog != nil {
+		if lerr := flog.Err(); lerr != nil {
+			fmt.Fprintln(os.Stderr, "fleet log:", lerr)
 		}
 	}
 

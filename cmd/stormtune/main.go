@@ -8,8 +8,9 @@
 //	          [-strategy pla|ipla|bo|ibo] [-steps N] [-parallel Q]
 //	          [-async] [-timeout D] [-params h|h-bs-bp|bs-bp-cc]
 //	          [-tiim X] [-contention X] [-samples K] [-seed N] [-quiet]
-//	          [-remote URL[,URL...]] [-retries N] [-retry-backoff D]
-//	          [-trial-timeout D] [-dash ADDR] [-archive DIR]
+//	          [-remote URL[,URL...]] [-token T] [-retries N]
+//	          [-retry-backoff D] [-trial-timeout D] [-dash ADDR]
+//	          [-archive DIR]
 //
 // The run is a tuning session: -timeout bounds its wall-clock (the best
 // configuration found so far is reported when the deadline hits, and
@@ -44,26 +45,38 @@
 //
 // Serving:
 //
-//	stormtune serve [-addr 127.0.0.1:8077] [-topology ...] [-spec ...]
-//	                [-tiim X] [-contention X] [-seed N] [-samples K]
-//	                [-flaky N] [-max-run-seconds S] [-quiet]
+//	stormtune serve [-addr 127.0.0.1:8077] [-topology A,B,...] [-spec ...]
+//	                [-token T] [-capacity N] [-tiim X] [-contention X]
+//	                [-seed N] [-samples K] [-flaky N] [-max-run-seconds S]
+//	                [-quiet]
 //
-// serve exposes the configured simulator as a JSON-over-HTTP evaluation
-// service (POST /run, GET /info, GET /healthz). -flaky N fails every
-// Nth run with HTTP 500 before evaluation — deterministic fault
-// injection for exercising the client-side retry path.
+// serve exposes the configured simulators as a multi-tenant
+// JSON-over-HTTP evaluation service (POST /run, GET /info, GET
+// /healthz). -topology (or -spec) takes a comma-separated list: the
+// worker serves every listed topology and routes each trial by its
+// structural fingerprint. -token requires a bearer token on /run and
+// /info; -capacity N bounds concurrent evaluations, refusing excess
+// runs with HTTP 429 and structured backpressure (queue depth,
+// estimated wait, Retry-After) that pooled clients use to shed trials
+// to less-loaded workers. -flaky N fails every Nth run with HTTP 500
+// before evaluation — deterministic fault injection for exercising the
+// client-side retry path.
 //
 // Fleet tuning:
 //
 //	stormtune fleet -manifest fleet.json [-dash ADDR] [-slots N]
 //	                [-timeout D] [-retries N] [-retry-backoff D]
-//	                [-trial-timeout D] [-quiet]
+//	                [-trial-timeout D] [-token T] [-state fleet.log]
+//	                [-resume] [-quiet]
 //
 // fleet runs many tuning sessions concurrently over one shared worker
-// pool, a fleet-level scheduler sharing the slots among them by
-// weighted fair share, and -dash serves one aggregated dashboard
-// (GET /api/fleet plus a full per-session dashboard under
-// /sessions/<name>/). See fleet.go for the manifest format.
+// pool — sessions may tune different topologies, routed per trial by
+// fingerprint — with a fleet-level scheduler sharing the slots among
+// them by weighted fair share, and -dash serves one aggregated
+// dashboard (GET /api/fleet plus a full per-session dashboard under
+// /sessions/<name>/). -state streams progress to an append-only log
+// and -resume restores a killed run from it bit-identically. See
+// fleet.go for the manifest format.
 //
 // Continuous tuning:
 //
@@ -196,8 +209,8 @@ type topoFlags struct {
 
 func addTopoFlags(fs *flag.FlagSet) topoFlags {
 	return topoFlags{
-		topology: fs.String("topology", "small", "topology: small, medium, large or sundog"),
-		spec:     fs.String("spec", "", "path to a JSON topology spec (overrides -topology)"),
+		topology: fs.String("topology", "small", "topology: small, medium, large or sundog (serve accepts a comma-separated list)"),
+		spec:     fs.String("spec", "", "path to a JSON topology spec, overrides -topology (serve accepts a comma-separated list)"),
 		tiim:     fs.Float64("tiim", 0, "time imbalance for synthetic topologies"),
 		cont:     fs.Float64("contention", 0, "contentious fraction for synthetic topologies"),
 		seed:     fs.Int64("seed", 1, "random seed"),
@@ -219,6 +232,31 @@ func (tf topoFlags) build() (*stormtune.Topology, stormtune.Evaluator, stormtune
 	return tf.toSpec().build()
 }
 
+// toSpecs expands the comma-separated -topology / -spec lists serve
+// accepts into one topoSpec per served topology; the other knobs (tiim,
+// contention, seed, samples) apply to every entry. A -spec list
+// overrides -topology, mirroring the single-topology precedence.
+func (tf topoFlags) toSpecs() []topoSpec {
+	base := tf.toSpec()
+	var out []topoSpec
+	if base.Spec != "" {
+		for _, path := range splitList(base.Spec) {
+			ts := base
+			ts.Spec = path
+			ts.Topology = ""
+			out = append(out, ts)
+		}
+		return out
+	}
+	for _, name := range splitList(base.Topology) {
+		ts := base
+		ts.Spec = ""
+		ts.Topology = name
+		out = append(out, ts)
+	}
+	return out
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "error:", err)
 	os.Exit(1)
@@ -237,22 +275,16 @@ func runServe(args []string) {
 	fs := flag.NewFlagSet("stormtune serve", flag.ExitOnError)
 	tf := addTopoFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:8077", "listen address")
+	token := fs.String("token", "", "require this bearer token on /run and /info (empty = open endpoint)")
+	capacity := fs.Int("capacity", 0, "admission control: max concurrent evaluations; excess runs get 429 + Retry-After (0 = unbounded)")
 	flaky := fs.Int("flaky", 0, "fail every Nth run with HTTP 500 (fault injection; 0 disables)")
 	maxRun := fs.Int("max-run-seconds", 0, "cap a single evaluation's wall-clock (0 = uncapped)")
 	quiet := fs.Bool("quiet", false, "suppress per-request log lines")
 	fs.Parse(args)
 
-	t, ev, metric, err := tf.build()
-	if err != nil {
-		fatal(err)
-	}
 	opts := stormtune.BackendServerOptions{
-		Info: stormtune.RemoteInfo{
-			Topology:    t.Name,
-			Nodes:       t.N(),
-			Metric:      metric.String(),
-			Fingerprint: stormtune.TopologyFingerprint(t),
-		},
+		Auth:          stormtune.RemoteCredentials{Token: *token},
+		Admission:     stormtune.RemoteAdmission{MaxConcurrent: *capacity},
 		FailEveryN:    *flaky,
 		MaxRunSeconds: *maxRun,
 	}
@@ -261,7 +293,27 @@ func runServe(args []string) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
-	srv := &http.Server{Addr: *addr, Handler: stormtune.NewBackendHandler(stormtune.AsBackend(ev), opts)}
+	server := stormtune.NewBackendServer(opts)
+
+	// One worker serves any number of topologies — `-topology small,large`
+	// or `-spec a.json,b.json` — and /run routes each trial by its
+	// structural fingerprint.
+	specs := tf.toSpecs()
+	if len(specs) == 0 {
+		fatal(errors.New("no topologies to serve"))
+	}
+	for _, ts := range specs {
+		t, ev, metric, err := ts.build()
+		if err != nil {
+			fatal(err)
+		}
+		if err := stormtune.RegisterTopology(server, t, stormtune.AsBackend(ev), metric); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving %s (%d nodes, fingerprint %s)\n", t.Name, t.N(), stormtune.TopologyFingerprint(t))
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: server.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -276,8 +328,16 @@ func runServe(args []string) {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	fmt.Printf("serving %s (%d nodes) on http://%s — POST /run, GET /info, GET /healthz\n",
-		t.Name, t.N(), *addr)
+	auth := "open"
+	if *token != "" {
+		auth = "bearer-token auth"
+	}
+	admit := "unbounded"
+	if *capacity > 0 {
+		admit = fmt.Sprintf("%d concurrent run(s)", *capacity)
+	}
+	fmt.Printf("listening on http://%s — POST /run, GET /info, GET /healthz (%s, admission: %s)\n",
+		*addr, auth, admit)
 	if *flaky > 0 {
 		fmt.Printf("fault injection: 1 in every %d runs fails with HTTP 500\n", *flaky)
 	}
@@ -297,11 +357,9 @@ func runTune(args []string) {
 	async := fs.Bool("async", false, "free-slot refill instead of barrier batches (with -parallel > 1)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the session (0 = none)")
 	remote := fs.String("remote", "", "comma-separated worker URLs (stormtune serve); tunes over HTTP instead of in-process")
-	retries := fs.Int("retries", 3, "evaluation attempts per trial before recording a pessimistic failure")
-	retryBackoff := fs.Duration("retry-backoff", time.Second, "wait before a trial's first retry (doubles per attempt)")
-	trialTimeout := fs.Duration("trial-timeout", 0, "deadline per evaluation attempt (0 = none)")
+	token := fs.String("token", "", "bearer token the remote workers require")
+	ef := addEvalFlags(fs, true, "record the run into the session archive at DIR and warm-start from similar archived runs")
 	dashAddr := fs.String("dash", "", "serve a live dashboard on this address (e.g. :8090) for the duration of the run")
-	archiveDir := fs.String("archive", "", "record the run into the session archive at DIR and warm-start from similar archived runs")
 	quiet := fs.Bool("quiet", false, "suppress the live progress line")
 	fs.Parse(args)
 
@@ -326,7 +384,7 @@ func runTune(args []string) {
 		Cluster:      &clusterSpec,
 		Seed:         *tf.seed,
 		MaxGPPoints:  60,
-		TrialTimeout: *trialTimeout,
+		TrialTimeout: ef.trialDeadline(),
 	}
 	switch *strategy {
 	case "pla":
@@ -364,16 +422,10 @@ func runTune(args []string) {
 			fmt.Fprintln(os.Stderr, "error: -samples has no effect with -remote; start the worker with `stormtune serve -samples K`")
 			os.Exit(2)
 		}
-		urls := strings.Split(*remote, ",")
+		urls := splitList(*remote)
 		members := make([]stormtune.Backend, 0, len(urls))
 		for _, u := range urls {
-			u = strings.TrimSpace(u)
-			if u == "" {
-				continue
-			}
-			rb := stormtune.NewRemoteBackend(u, stormtune.RemoteBackendOptions{
-				TransportRetries: 2,
-			})
+			rb := stormtune.NewRemoteBackend(u, remoteOptions(*token))
 			if _, err := stormtune.CheckRemoteBackend(ctx, rb, t, metric); err != nil {
 				fatal(err)
 			}
@@ -384,12 +436,12 @@ func runTune(args []string) {
 			fatal(err)
 		}
 		backend = pool
-		opts.Retry = stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+		opts.Retry = ef.retryPolicy()
 		mode = fmt.Sprintf("%d remote worker(s)", len(members))
 	} else {
 		backend = stormtune.AsBackend(ev)
-		if *retries > 1 {
-			opts.Retry = stormtune.RetryPolicy{MaxAttempts: *retries, Backoff: *retryBackoff}
+		if ef.wantsRetry() {
+			opts.Retry = ef.retryPolicy()
 		}
 	}
 
@@ -432,11 +484,11 @@ func runTune(args []string) {
 	// and warm-starts from archived evidence when a sufficiently
 	// similar donor exists (BO strategies only; the seal happens inside
 	// the tuner on a clean finish).
-	if *archiveDir != "" {
-		arch, err := stormtune.OpenArchive(*archiveDir)
-		if err != nil {
-			fatal(fmt.Errorf("archive: %w", err))
-		}
+	arch, err := ef.openArchive()
+	if err != nil {
+		fatal(err)
+	}
+	if arch != nil {
 		defer arch.Close()
 		opts.Archive = arch
 		opts.WarmStart = stormtune.WarmStartOptions{Enabled: true, Prior: true}
@@ -446,7 +498,7 @@ func runTune(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	if *archiveDir != "" {
+	if arch != nil {
 		if ts := tn.Transfer(); ts != nil {
 			fmt.Printf("warm start: donor %s (similarity %.2f, %d seed configs)\n",
 				ts.Donor, ts.Similarity, len(ts.Points))

@@ -35,7 +35,7 @@ func runWatch(args []string) {
 	cooldown := fs.Float64("cooldown", 0, "minimum simulated seconds between retune triggers")
 	throttle := fs.Duration("throttle", 0, "wall-clock pacing per monitoring sample (0 = run the timeline flat out)")
 	dashAddr := fs.String("dash", "", "serve a live dashboard on this address (e.g. :8090) for the duration of the watch")
-	archiveDir := fs.String("archive", "", "record completed trials into the session archive at DIR (evidence for later warm starts)")
+	ef := addEvalFlags(fs, false, "record completed trials into the session archive at DIR (evidence for later warm starts)")
 	snapshotPath := fs.String("snapshot", "", "persist periodic watch snapshots to this file")
 	snapshotEvery := fs.Int("snapshot-every", 10, "snapshot every N completed trials or monitoring samples (with -snapshot)")
 	resumePath := fs.String("resume", "", "resume from a watch snapshot file")
@@ -82,6 +82,9 @@ func runWatch(args []string) {
 		Throttle:     *throttle,
 		MaxGPPoints:  60,
 	}
+	if ef.wantsRetry() {
+		opts.Retry = ef.retryPolicy()
+	}
 
 	// Live progress from the watch's event stream.
 	var trials int
@@ -117,11 +120,11 @@ func runWatch(args []string) {
 	// initial tune and retune episodes alike — as evidence for later
 	// warm starts. A watch never warm-starts itself; its retunes are
 	// trust-region moves around the live incumbent.
-	if *archiveDir != "" {
-		arch, err := stormtune.OpenArchive(*archiveDir)
-		if err != nil {
-			fatal(fmt.Errorf("archive: %w", err))
-		}
+	arch, err := ef.openArchive()
+	if err != nil {
+		fatal(err)
+	}
+	if arch != nil {
 		defer arch.Close()
 		opts.Archive = arch
 	}
@@ -156,7 +159,7 @@ func runWatch(args []string) {
 			fatal(err)
 		}
 	}
-	if *archiveDir != "" {
+	if arch != nil {
 		fmt.Printf("archiving as %s\n", w.ArchiveKey())
 	}
 

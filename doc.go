@@ -105,21 +105,25 @@
 //	tn, _ := stormtune.NewTuner(t, stormtune.AsBackend(ev), stormtune.TunerOptions{Steps: 60})
 //	res, _ := tn.RunAsync(ctx, 4)
 //
-// The one-shot entry points Tune, TuneBatch and AutoTune remain as thin
-// deprecated wrappers over the session API (they still accept a bare
-// Evaluator).
+// The legacy one-shot entry points (Tune, TuneBatch, AutoTune) are
+// gone; NewTuner with a driver is the single way in.
 //
 // # Remote evaluation
 //
 // Any Backend can be served as a JSON-over-HTTP evaluation service and
 // driven from another process — tuning as a service, decoupled from
-// the machines that run the measurements. The `stormtune serve`
-// subcommand exposes a simulator this way (POST /run, GET /info, GET
-// /healthz; NewBackendHandler does the same for embedding), and
-// NewRemoteBackend is the client:
+// the machines that run the measurements. A worker is multi-tenant:
+// NewBackendServer plus RegisterTopology build a server that routes
+// each POST /run by the trial's topology fingerprint (the `stormtune
+// serve -topology a,b` subcommand is a thin wrapper), optionally behind
+// bearer-token auth (BackendServerOptions.Auth) and admission control
+// (BackendServerOptions.Admission — refusals carry queue depth and a
+// Retry-After estimate). NewRemoteBackend is the client:
 //
-//	// worker processes:  stormtune serve -addr 127.0.0.1:8077
-//	bk := stormtune.NewRemoteBackend("http://127.0.0.1:8077", stormtune.RemoteBackendOptions{})
+//	// worker processes:  stormtune serve -addr 127.0.0.1:8077 -topology small,medium -token S
+//	bk := stormtune.NewRemoteBackend("http://127.0.0.1:8077", stormtune.RemoteBackendOptions{
+//		Auth: stormtune.RemoteCredentials{Token: "S"},
+//	})
 //	info, err := stormtune.CheckRemoteBackend(ctx, bk, t, stormtune.SinkTuples) // fail fast on mismatch
 //	tn, _ := stormtune.NewTuner(t, bk, stormtune.TunerOptions{
 //		Steps: 60,
@@ -128,13 +132,16 @@
 //	res, _ := tn.RunAsync(ctx, 4)
 //
 // A RemoteBackend is safe for concurrent trials; NewBackendPool
-// combines one client per worker so a single session saturates a pool
-// of worker processes. Setting RemoteBackendOptions.TransportRetries
-// additionally re-POSTs requests whose transport failed (connection
-// refused, reset) before involving the session at all — safe because
-// evaluations are pure functions of (config, run index); it defaults
-// to 0, so by default every lost round trip surfaces to the
-// RetryPolicy like any other lost evaluation.
+// combines one client per worker so a session (or a whole fleet of
+// heterogeneous sessions) saturates a pool of worker processes, each
+// trial routed to a member serving its topology. The pool sheds
+// admission-refused trials to less-loaded members, evicts members whose
+// transport keeps failing and re-probes them for readmission. Setting
+// RemoteBackendOptions.Transport.Retries additionally re-POSTs requests
+// whose transport failed (connection refused, reset) before involving
+// the session at all — safe because evaluations are pure functions of
+// (config, run index); it defaults to 0, so by default every lost round
+// trip surfaces to the RetryPolicy like any other lost evaluation.
 //
 // # Live observability
 //

@@ -1,0 +1,172 @@
+package stormtune
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"stormtune/internal/storm"
+)
+
+// statelessFaultBackend injects a deterministic, crash-independent
+// fault pattern: the first evaluation attempt of every third trial is
+// lost; the retry succeeds. Because the injection depends only on
+// (trial ID, attempt) — no in-process state — a resumed run sees the
+// exact same faults the uninterrupted reference did, even for a trial
+// captured mid-retry.
+type statelessFaultBackend struct{ inner Backend }
+
+func (b statelessFaultBackend) Run(ctx context.Context, tr Trial) (storm.Result, error) {
+	if tr.ID%3 == 0 && tr.Attempt == 1 {
+		return storm.Result{}, fmt.Errorf("injected: trial %d attempt 1 lost", tr.ID)
+	}
+	return b.inner.Run(ctx, tr)
+}
+
+// TestPublicFleetKillResumeBitIdentical is the crash-safety acceptance
+// pin: a fleet persisting to a FleetLog, killed mid-run (log abandoned
+// un-Closed, a torn half-record appended as a crash mid-write would),
+// resumes from the recovered log and finishes with every member's
+// record sequence and incumbent bit-identical to an uninterrupted
+// reference run — injected retries included.
+func TestPublicFleetKillResumeBitIdentical(t *testing.T) {
+	top := BuildSynthetic("small", Condition{}, 1)
+	names := []string{"alpha", "beta"}
+	seeds := []int64{3, 7}
+	steps := []int{7, 5}
+
+	backend := func() Backend {
+		return statelessFaultBackend{inner: AsBackend(quietEval(top, SmallCluster()))}
+	}
+	memberOpts := func(i int) TunerOptions {
+		opts := fastTunerOpts(seeds[i], steps[i])
+		opts.Cluster = ptrCluster(SmallCluster())
+		opts.Retry = RetryPolicy{MaxAttempts: 2, Backoff: time.Millisecond}
+		return opts
+	}
+	build := func(i int, extra Observer) FleetMember {
+		opts := memberOpts(i)
+		opts.Observer = extra
+		tn, err := NewTuner(top, backend(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// MaxInFlight 1 makes each member's record sequence independent
+		// of fleet scheduling — the determinism resume relies on.
+		return FleetMember{Name: names[i], Tuner: tn, MaxInFlight: 1}
+	}
+
+	// Reference: uninterrupted, no log.
+	ref, err := NewFleet(FleetOptions{Slots: 2}, build(0, nil), build(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range names {
+		if len(want[name].Records) != steps[i] {
+			t.Fatalf("reference %q ran %d records, want %d", name, len(want[name].Records), steps[i])
+		}
+	}
+
+	// Run 1: logged, killed after alpha's third completion.
+	path := filepath.Join(t.TempDir(), "fleet.log")
+	flog, err := CreateFleetLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	completed := 0
+	killer := ObserverFunc(func(e Event) {
+		if _, ok := e.(TrialCompleted); ok {
+			mu.Lock()
+			completed++
+			if completed == 3 {
+				cancel()
+			}
+			mu.Unlock()
+		}
+	})
+	fleet1, err := NewFleet(FleetOptions{Slots: 2, Log: flog}, build(0, killer), build(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet1.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("killed run err = %v, want context.Canceled", err)
+	}
+	if err := flog.Err(); err != nil {
+		t.Fatalf("fleet log hit a write error before the kill: %v", err)
+	}
+	// Crash: the log is never Closed (buffered events die with the
+	// process), and the process died mid-append — half a record, no
+	// newline.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"event","member":"alpha","seq":99,"ev`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run 2: recover the log and resume every member.
+	flog2, err := OpenFleetLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flog2.Close()
+	if got := flog2.Members(); len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("recovered members = %v", got)
+	}
+	members := make([]FleetMember, len(names))
+	for i, name := range names {
+		st, err := flog2.MemberState(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == nil {
+			t.Fatalf("no snapshot recovered for %q: the attach-time snapshot guarantees one", name)
+		}
+		// Retry policy and budget travel in the snapshot; resume needs
+		// only topology + backend.
+		tn, err := ResumeTuner(st, top, backend(), TunerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = FleetMember{Name: name, Tuner: tn, MaxInFlight: 1}
+	}
+	fleet2, err := NewFleet(FleetOptions{Slots: 2, Log: flog2}, members...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fleet2.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flog2.Err(); err != nil {
+		t.Fatalf("resumed fleet log error: %v", err)
+	}
+
+	for _, name := range names {
+		recordsEqual(t, want[name].Records, got[name].Records)
+		if want[name].BestStep != got[name].BestStep {
+			t.Fatalf("%q best step %d, want %d", name, got[name].BestStep, want[name].BestStep)
+		}
+		wb, _ := want[name].Best()
+		gb, _ := got[name].Best()
+		if wb.Config.Fingerprint() != gb.Config.Fingerprint() {
+			t.Fatalf("%q incumbent diverged after resume", name)
+		}
+	}
+}

@@ -3,8 +3,6 @@ package core
 import (
 	"context"
 	"errors"
-	"fmt"
-	"sync/atomic"
 	"time"
 
 	"stormtune/internal/storm"
@@ -113,6 +111,44 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	return d
 }
 
+// IsPermanentBackendErr reports whether the backend error declares
+// itself unretryable via a `Permanent() bool` method anywhere in its
+// chain — rejected credentials, a worker that does not serve the
+// trial's topology. Re-sending the identical request cannot succeed,
+// so the retry loop fails the trial immediately instead of burning its
+// attempt budget on a foregone conclusion.
+func IsPermanentBackendErr(err error) bool {
+	var p interface{ Permanent() bool }
+	return errors.As(err, &p) && p.Permanent()
+}
+
+// isOverloadedErr detects admission-control refusals (a worker at
+// capacity declined the run before evaluating) via the `Overloaded()
+// bool` marker. Nothing was lost; the pool sheds the trial elsewhere.
+func isOverloadedErr(err error) bool {
+	var o interface{ Overloaded() bool }
+	return errors.As(err, &o) && o.Overloaded()
+}
+
+// isUnreachableErr detects transport-level failures (no HTTP reply at
+// all) via the `Unreachable() bool` marker; the pool's health tracking
+// counts these toward member eviction.
+func isUnreachableErr(err error) bool {
+	var u interface{ Unreachable() bool }
+	return errors.As(err, &u) && u.Unreachable()
+}
+
+// retryAfterHint extracts the server-suggested wait from an overloaded
+// error (via the `RetryAfterHint() time.Duration` accessor the remote
+// package's OverloadedError provides), zero when it carries none.
+func retryAfterHint(err error) time.Duration {
+	var r interface{ RetryAfterHint() time.Duration }
+	if errors.As(err, &r) {
+		return r.RetryAfterHint()
+	}
+	return 0
+}
+
 // retryRun is the attempt loop shared by the session drivers and the
 // protocol's best-config re-runs: evaluate tr against bk, re-attempting
 // lost evaluations per policy, with each attempt bounded by the trial's
@@ -120,6 +156,9 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 // trials continue their budget; an attempt interrupted by ctx burns
 // nothing). onFail, when non-nil, is invoked after each failed attempt
 // — before the backoff, with permanent=true when the budget is spent.
+// An error that declares itself permanent (IsPermanentBackendErr) fails
+// the trial on the spot: no amount of retrying fixes bad credentials or
+// a worker that does not serve the topology.
 //
 // ok is false when ctx was cancelled before a result or a permanent
 // failure was reached; otherwise err carries the permanent evaluation
@@ -141,7 +180,7 @@ func retryRun(ctx context.Context, bk Backend, tr Trial, policy RetryPolicy,
 			// permanently lost, so no retry budget is consumed.
 			return storm.Result{}, nil, false
 		}
-		if attempt >= policy.maxAttempts() {
+		if attempt >= policy.maxAttempts() || IsPermanentBackendErr(err) {
 			if onFail != nil {
 				onFail(tr, attempt, err, true)
 			}
@@ -171,120 +210,4 @@ func trialContext(ctx context.Context, tr Trial) (context.Context, context.Cance
 	return context.WithCancel(ctx)
 }
 
-// NewPoolBackend distributes concurrent trials over a pool of member
-// backends: each Run borrows a free member for the duration of the
-// evaluation, so a session driving q concurrent trials (RunAsync or
-// RunBatch) saturates up to q workers — the one-session, many-worker-
-// processes deployment the remote backend enables. Run blocks until a
-// member is free or ctx is done. The returned pool satisfies Backend
-// and additionally exposes per-worker counters through Stats — the
-// dashboard's "workers" table.
-func NewPoolBackend(members ...Backend) (*PoolBackend, error) {
-	if len(members) == 0 {
-		return nil, fmt.Errorf("core: pool backend needs at least one member")
-	}
-	p := &PoolBackend{
-		free:    make(chan *poolWorker, len(members)),
-		workers: make([]*poolWorker, len(members)),
-	}
-	for i, b := range members {
-		if b == nil {
-			return nil, fmt.Errorf("core: pool backend member %d is nil", i)
-		}
-		label := fmt.Sprintf("worker-%d", i)
-		// A remote backend knows its server address; prefer it as the
-		// human-readable label.
-		if u, ok := b.(interface{ URL() string }); ok {
-			label = u.URL()
-		}
-		w := &poolWorker{bk: b, label: label}
-		p.workers[i] = w
-		p.free <- w
-	}
-	return p, nil
-}
-
-// WorkerStats is one pool member's live counters.
-type WorkerStats struct {
-	// Worker labels the member: the remote backend's URL when it has
-	// one, "worker-N" otherwise.
-	Worker string `json:"worker"`
-	// InFlight is the number of evaluations the member is running now.
-	InFlight int `json:"inFlight"`
-	// Completed counts evaluations that returned a measurement.
-	Completed int64 `json:"completed"`
-	// Errors counts evaluations the member lost (Backend.Run errors);
-	// the session's RetryPolicy decides what happens next.
-	Errors int64 `json:"errors"`
-}
-
-type poolWorker struct {
-	bk    Backend
-	label string
-
-	inFlight  atomic.Int64
-	completed atomic.Int64
-	errors    atomic.Int64
-}
-
-// PoolBackend fans one session's concurrent trials out over a fixed
-// set of member backends. See NewPoolBackend.
-type PoolBackend struct {
-	free    chan *poolWorker
-	workers []*poolWorker
-}
-
-// Run implements Backend.
-func (p *PoolBackend) Run(ctx context.Context, tr Trial) (storm.Result, error) {
-	select {
-	case w := <-p.free:
-		defer func() { p.free <- w }()
-		w.inFlight.Add(1)
-		defer w.inFlight.Add(-1)
-		start := time.Now()
-		res, err := w.bk.Run(ctx, tr)
-		switch {
-		case err == nil:
-			w.completed.Add(1)
-		case ctx.Err() == nil:
-			// Worker-originated failure: the context is intact, the
-			// member lost the measurement on its own.
-			w.errors.Add(1)
-		case tr.Timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) &&
-			time.Since(start) >= tr.Timeout*9/10:
-			// The trial's deadline expired while this member held it for
-			// essentially the whole budget: the member was too slow — a
-			// loss chargeable to it. The duration guard keeps the common
-			// non-worker causes out of the count (a deadline mostly
-			// consumed queueing for a free member; a session-wide
-			// deadline cutting an evaluation short); a session deadline
-			// that happens to expire within the trial budget's final
-			// tenth is still misattributed — a bounded, accepted
-			// imprecision. A plain cancellation says nothing about the
-			// member and counts nowhere.
-			w.errors.Add(1)
-		}
-		return res, err
-	case <-ctx.Done():
-		return storm.Result{}, ctx.Err()
-	}
-}
-
-// Size returns the number of pool members.
-func (p *PoolBackend) Size() int { return len(p.workers) }
-
-// Stats samples every member's counters, in construction order. It is
-// safe to call concurrently with Run — the dashboard polls it while
-// trials are in flight.
-func (p *PoolBackend) Stats() []WorkerStats {
-	out := make([]WorkerStats, len(p.workers))
-	for i, w := range p.workers {
-		out[i] = WorkerStats{
-			Worker:    w.label,
-			InFlight:  int(w.inFlight.Load()),
-			Completed: w.completed.Load(),
-			Errors:    w.errors.Load(),
-		}
-	}
-	return out
-}
+// The pool backend (NewPoolBackend and friends) lives in pool.go.

@@ -39,6 +39,13 @@ type Trial struct {
 	// ignore it, and storm.TimedEvaluator backends measure drifting
 	// workloads at this instant.
 	SimTime float64
+	// Fingerprint is the tuned topology's structural hash (hex), stamped
+	// from SessionOptions.Fingerprint at proposal time. Remote backends
+	// send it as the routing key so a multi-tenant worker evaluates the
+	// trial against the right registered topology; empty routes only to
+	// single-topology workers. It is not part of the persisted trial
+	// state — resumed sessions re-stamp it from their options.
+	Fingerprint string
 }
 
 // SimClock supplies the simulated timestamp stamped onto proposed
@@ -75,16 +82,15 @@ type SessionOptions struct {
 	// drifting workloads set it so the same configuration measured at
 	// different times sees different load.
 	Clock SimClock
+	// Fingerprint is the tuned topology's structural hash (hex); every
+	// proposed trial carries it (Trial.Fingerprint) so routing backends
+	// can match it against multi-tenant workers. Empty disables routing.
+	Fingerprint string
 }
 
 // ErrNoBackend is returned by the drivers of a session constructed
 // without a backend (pure ask/tell use).
 var ErrNoBackend = errors.New("core: session has no backend; drive it via Propose/Report")
-
-// ErrNoEvaluator is the historical name of ErrNoBackend.
-//
-// Deprecated: use ErrNoBackend.
-var ErrNoEvaluator = ErrNoBackend
 
 // Session is an interruptible ask/tell tuning run: Propose hands out
 // trials, Report feeds measurements back, and the Run/RunBatch/RunAsync
@@ -167,6 +173,34 @@ func (s *Session) emit(evs ...Event) {
 // on top (and the public Tuner) use it for their own notifications.
 func (s *Session) Emit(e Event) { s.emit(e) }
 
+// AppendObserver chains obs after the session's current observer:
+// every event is delivered to the existing observer first, then to
+// obs. Order matters — the fleet log appends itself after a member's
+// Recorder so that, by the time the log's callback runs, the recorder
+// already holds the event and a Snapshot taken from the callback
+// includes it. Call it before driving the session; it is not safe
+// concurrently with emits.
+func (s *Session) AppendObserver(obs Observer) {
+	if obs == nil {
+		return
+	}
+	prev := s.opts.Observer
+	if prev == nil {
+		s.opts.Observer = obs
+		return
+	}
+	s.opts.Observer = observerChain{prev, obs}
+}
+
+// observerChain delivers each event to both observers, first first.
+type observerChain [2]Observer
+
+// OnEvent implements Observer.
+func (c observerChain) OnEvent(e Event) {
+	c[0].OnEvent(e)
+	c[1].OnEvent(e)
+}
+
 // Propose asks the strategy for up to n new trials. It returns fewer —
 // possibly none — when the remaining budget is smaller, the strategy is
 // exhausted, or the zero-performance stopping rule has fired; an empty
@@ -222,6 +256,7 @@ func (s *Session) propose(ctx context.Context, n int, fillPending bool) ([]Trial
 		trials[i] = Trial{
 			ID: s.issued, Config: cfg, RunIndex: s.opts.RunOffset + s.issued,
 			Timeout: s.opts.TrialTimeout, Decision: per, SimTime: simTime,
+			Fingerprint: s.opts.Fingerprint,
 		}
 		evs[i] = TrialStarted{Trial: trials[i]}
 	}

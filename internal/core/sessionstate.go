@@ -224,13 +224,17 @@ func ResumeSession(st *SessionState, strat Strategy, bk Backend, opts SessionOpt
 		}
 	}
 	for _, p := range st.Pending {
+		// Fingerprint is routing metadata, not persisted state: re-stamp
+		// it from the resuming options so restored trials route the same
+		// way fresh proposals do.
 		s.pending = append(s.pending, Trial{
 			ID: p.ID, Config: p.Config,
-			RunIndex: st.RunOffset + p.ID,
-			Attempt:  p.Attempt,
-			Timeout:  opts.TrialTimeout,
-			Decision: time.Duration(p.DecisionNS),
-			SimTime:  p.SimTime,
+			RunIndex:    st.RunOffset + p.ID,
+			Attempt:     p.Attempt,
+			Timeout:     opts.TrialTimeout,
+			Decision:    time.Duration(p.DecisionNS),
+			SimTime:     p.SimTime,
+			Fingerprint: opts.Fingerprint,
 		})
 	}
 	return s, nil

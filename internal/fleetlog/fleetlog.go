@@ -1,0 +1,265 @@
+// Package fleetlog persists a fleet's tuning progress to one
+// append-only JSONL file so a killed `stormtune fleet` run can resume
+// every member bit-identically.
+//
+// The log interleaves two record kinds, each tagged with the member it
+// belongs to:
+//
+//   - "event": one recorder event (an opaque JSON payload plus its
+//     recorder sequence number) — the audit trail of what happened.
+//   - "snapshot": a member's full session state (opaque JSON) covering
+//     every event up to Seq. The last durable snapshot per member is
+//     what resume restores from.
+//
+// Durability follows the archive package's idiom: appends are buffered,
+// a snapshot flushes and fsyncs (a snapshot that cannot be trusted is
+// worthless), and Open truncates a torn tail — a partial last line from
+// a crash mid-write — back to the last intact record. Losing buffered
+// events after the final fsync is harmless: resume falls back to the
+// last durable snapshot and the session re-proposes the same trials
+// deterministically.
+//
+// The payloads are opaque to this package (json.RawMessage): the public
+// layer stores marshaled TunerState snapshots and core.RecordedEvent
+// events without this package importing either.
+package fleetlog
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Record kinds.
+const (
+	// KindEvent is one recorder event of a member.
+	KindEvent = "event"
+	// KindSnapshot is a member's full session state.
+	KindSnapshot = "snapshot"
+)
+
+// Record is one JSONL line of the log.
+type Record struct {
+	// Kind is KindEvent or KindSnapshot.
+	Kind string `json:"kind"`
+	// Member names the fleet member the record belongs to.
+	Member string `json:"member"`
+	// Seq is the recorder sequence number: the event's own for
+	// KindEvent, the last sequence the state covers for KindSnapshot.
+	Seq int64 `json:"seq,omitempty"`
+	// Event is the opaque event payload (KindEvent).
+	Event json.RawMessage `json:"event,omitempty"`
+	// State is the opaque session-state payload (KindSnapshot).
+	State json.RawMessage `json:"state,omitempty"`
+}
+
+// MemberState is what the log knows about one member after recovery or
+// during a live run.
+type MemberState struct {
+	// State is the member's last durable snapshot payload; nil when the
+	// log holds only events for it.
+	State json.RawMessage
+	// Seq is the recorder sequence number the snapshot covers.
+	Seq int64
+	// Events counts the member's event records seen (diagnostics).
+	Events int64
+}
+
+// Log is an append-only fleet progress log backed by one JSONL file.
+// All methods are safe for concurrent use — each member's observer
+// appends from its own session's callback goroutine.
+type Log struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	w      *bufio.Writer
+	states map[string]*MemberState
+	closed bool
+}
+
+// Create starts a fresh log at path, truncating any previous one — the
+// non-resume fleet run's entry point.
+func Create(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleetlog: create %s: %w", path, err)
+	}
+	return &Log{path: path, f: f, w: bufio.NewWriter(f), states: make(map[string]*MemberState)}, nil
+}
+
+// Open recovers an existing log for resumption: it scans every record,
+// keeps the last snapshot per member, truncates a torn tail back to the
+// last intact line, and reopens the file for appending — the resumed
+// run continues the same log.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("fleetlog: open %s: %w", path, err)
+	}
+	l := &Log{path: path, f: f, w: bufio.NewWriter(f), states: make(map[string]*MemberState)}
+	good, err := l.recover()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleetlog: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("fleetlog: seeking %s: %w", path, err)
+	}
+	return l, nil
+}
+
+// recover scans the file, folding intact records into the member map,
+// and returns the offset just past the last intact line.
+func (l *Log) recover() (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("fleetlog: seeking %s: %w", l.path, err)
+	}
+	r := bufio.NewReader(l.f)
+	var good int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A final line without its newline is a torn tail even when it
+			// parses — the writer always terminates records.
+			return good, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("fleetlog: reading %s: %w", l.path, err)
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Member == "" {
+			// Torn or foreign line: everything from here on is untrusted.
+			return good, nil
+		}
+		l.fold(rec)
+		good += int64(len(line))
+	}
+}
+
+// fold applies one intact record to the member map.
+func (l *Log) fold(rec Record) {
+	ms, ok := l.states[rec.Member]
+	if !ok {
+		ms = &MemberState{}
+		l.states[rec.Member] = ms
+	}
+	switch rec.Kind {
+	case KindEvent:
+		ms.Events++
+	case KindSnapshot:
+		ms.State = rec.State
+		ms.Seq = rec.Seq
+	}
+}
+
+// append writes one record as a single compacted JSONL line.
+func (l *Log) append(rec Record) error {
+	raw, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("fleetlog: encoding record: %w", err)
+	}
+	// Compact defensively: an embedded RawMessage payload with raw
+	// newlines would break the one-record-per-line invariant recovery
+	// depends on.
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return fmt.Errorf("fleetlog: compacting record: %w", err)
+	}
+	buf.WriteByte('\n')
+	if _, err := l.w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("fleetlog: appending to %s: %w", l.path, err)
+	}
+	l.fold(rec)
+	return nil
+}
+
+// AppendEvent appends one member event (buffered; durable at the next
+// snapshot or Close).
+func (l *Log) AppendEvent(member string, seq int64, event json.RawMessage) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("fleetlog: %s is closed", l.path)
+	}
+	return l.append(Record{Kind: KindEvent, Member: member, Seq: seq, Event: event})
+}
+
+// Snapshot appends a member's session state covering events up to seq,
+// then flushes and fsyncs: once Snapshot returns, a crash cannot lose
+// the member's progress past this point.
+func (l *Log) Snapshot(member string, seq int64, state json.RawMessage) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("fleetlog: %s is closed", l.path)
+	}
+	if err := l.append(Record{Kind: KindSnapshot, Member: member, Seq: seq, State: state}); err != nil {
+		return err
+	}
+	return l.sync()
+}
+
+// sync flushes the buffer and fsyncs the file. Callers hold l.mu.
+func (l *Log) sync() error {
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("fleetlog: flushing %s: %w", l.path, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("fleetlog: syncing %s: %w", l.path, err)
+	}
+	return nil
+}
+
+// MemberState returns what the log knows about a member. The snapshot
+// payload is shared, not copied — treat it as read-only.
+func (l *Log) MemberState(member string) (MemberState, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ms, ok := l.states[member]
+	if !ok {
+		return MemberState{}, false
+	}
+	return *ms, true
+}
+
+// Members lists every member the log has records for, sorted.
+func (l *Log) Members() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.states))
+	for name := range l.states {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close flushes, fsyncs and closes the file. The log cannot be used
+// afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	serr := l.sync()
+	cerr := l.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

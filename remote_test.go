@@ -12,21 +12,26 @@ import (
 	"stormtune"
 )
 
+// startWorker spins up a live multi-tenant worker serving the given
+// topologies, the way `stormtune serve -topology a,b` does.
+func startWorker(t *testing.T, opts stormtune.BackendServerOptions, tops ...*stormtune.Topology) *httptest.Server {
+	t.Helper()
+	server := stormtune.NewBackendServer(opts)
+	for _, top := range tops {
+		ev := stormtune.NewFluidSim(top, stormtune.SmallCluster(), stormtune.SinkTuples, 1)
+		if err := stormtune.RegisterTopology(server, top, stormtune.AsBackend(ev), stormtune.SinkTuples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer(server.Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
 func remoteTestSetup(t *testing.T, flaky int) (*stormtune.Topology, *stormtune.RemoteBackend) {
 	t.Helper()
 	top := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
-	ev := stormtune.NewFluidSim(top, stormtune.SmallCluster(), stormtune.SinkTuples, 1)
-	handler := stormtune.NewBackendHandler(stormtune.AsBackend(ev), stormtune.BackendServerOptions{
-		Info: stormtune.RemoteInfo{
-			Topology:    top.Name,
-			Nodes:       top.N(),
-			Metric:      stormtune.SinkTuples.String(),
-			Fingerprint: stormtune.TopologyFingerprint(top),
-		},
-		FailEveryN: flaky,
-	})
-	srv := httptest.NewServer(handler)
-	t.Cleanup(srv.Close)
+	srv := startWorker(t, stormtune.BackendServerOptions{FailEveryN: flaky}, top)
 	return top, stormtune.NewRemoteBackend(srv.URL, stormtune.RemoteBackendOptions{})
 }
 
@@ -139,12 +144,16 @@ func TestPublicRemoteTuningEndToEnd(t *testing.T) {
 func TestPublicRemotePoolAsync(t *testing.T) {
 	top, bk1 := remoteTestSetup(t, 0)
 	// Second worker process serving the same topology.
-	ev2 := stormtune.NewFluidSim(top, stormtune.SmallCluster(), stormtune.SinkTuples, 1)
-	srv2 := httptest.NewServer(stormtune.NewBackendHandler(stormtune.AsBackend(ev2), stormtune.BackendServerOptions{
-		Info: stormtune.RemoteInfo{Topology: top.Name, Nodes: top.N(), Metric: stormtune.SinkTuples.String()},
-	}))
-	t.Cleanup(srv2.Close)
+	srv2 := startWorker(t, stormtune.BackendServerOptions{}, top)
 	bk2 := stormtune.NewRemoteBackend(srv2.URL, stormtune.RemoteBackendOptions{})
+
+	// CheckRemoteBackend primes each client's served-fingerprint cache,
+	// which the pool routes by.
+	for _, bk := range []*stormtune.RemoteBackend{bk1, bk2} {
+		if _, err := stormtune.CheckRemoteBackend(context.Background(), bk, top, stormtune.SinkTuples); err != nil {
+			t.Fatal(err)
+		}
+	}
 
 	pool, err := stormtune.NewBackendPool(bk1, bk2)
 	if err != nil {
@@ -163,6 +172,52 @@ func TestPublicRemotePoolAsync(t *testing.T) {
 	}
 	if _, ok := res.Best(); !ok {
 		t.Fatal("no successful trial through the pool")
+	}
+}
+
+// TestPublicPoolRoutesMixedFleet: a pool whose members serve different
+// topologies routes each session's trials to the member that serves
+// them — the multi-tenant deployment a heterogeneous fleet relies on.
+func TestPublicPoolRoutesMixedFleet(t *testing.T) {
+	topA := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
+	topB := stormtune.BuildSynthetic("medium", stormtune.Condition{}, 1)
+	if stormtune.TopologyFingerprint(topA) == stormtune.TopologyFingerprint(topB) {
+		t.Fatal("fixture broken: fingerprints collide")
+	}
+	srvA := startWorker(t, stormtune.BackendServerOptions{}, topA)
+	srvB := startWorker(t, stormtune.BackendServerOptions{}, topB)
+	bkA := stormtune.NewRemoteBackend(srvA.URL, stormtune.RemoteBackendOptions{})
+	bkB := stormtune.NewRemoteBackend(srvB.URL, stormtune.RemoteBackendOptions{})
+	if _, err := stormtune.CheckRemoteBackend(context.Background(), bkA, topA, stormtune.SinkTuples); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stormtune.CheckRemoteBackend(context.Background(), bkB, topB, stormtune.SinkTuples); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := stormtune.NewBackendPool(bkA, bkB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, top := range []*stormtune.Topology{topA, topB} {
+		opts := quietTunerOpts(4)
+		tn, err := stormtune.NewTuner(top, pool, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tn.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := res.Best(); !ok {
+			t.Fatalf("no successful trial for %s through the mixed pool", top.Name)
+		}
+	}
+	// Both members must have evaluated their own topology's trials.
+	for _, ws := range pool.Stats() {
+		if ws.Completed == 0 {
+			t.Fatalf("worker %s evaluated nothing; routing broken: %+v", ws.Worker, pool.Stats())
+		}
 	}
 }
 
@@ -199,22 +254,29 @@ func TestRemoteMismatchRejected(t *testing.T) {
 	if stormtune.TopologyFingerprint(seedA) == stormtune.TopologyFingerprint(seedB) {
 		t.Fatal("fixture broken: different seeds fingerprint identically")
 	}
-	evA := stormtune.NewFluidSim(seedA, stormtune.SmallCluster(), stormtune.SinkTuples, 1)
-	srvA := httptest.NewServer(stormtune.NewBackendHandler(stormtune.AsBackend(evA), stormtune.BackendServerOptions{
-		Info: stormtune.RemoteInfo{
-			Topology:    seedA.Name,
-			Nodes:       seedA.N(),
-			Metric:      stormtune.SinkTuples.String(),
-			Fingerprint: stormtune.TopologyFingerprint(seedA),
-		},
-	}))
-	t.Cleanup(srvA.Close)
+	srvA := startWorker(t, stormtune.BackendServerOptions{}, seedA)
 	bkA := stormtune.NewRemoteBackend(srvA.URL, stormtune.RemoteBackendOptions{})
 	if _, err := stormtune.CheckRemoteBackend(context.Background(), bkA, seedA, stormtune.SinkTuples); err != nil {
 		t.Fatalf("matching topology rejected: %v", err)
 	}
-	if _, err := stormtune.CheckRemoteBackend(context.Background(), bkA, seedB, stormtune.SinkTuples); err == nil {
+	err := func() error {
+		_, err := stormtune.CheckRemoteBackend(context.Background(), bkA, seedB, stormtune.SinkTuples)
+		return err
+	}()
+	if err == nil {
 		t.Fatal("different-seed topology with identical name/shape accepted")
+	}
+	// The mismatch error carries the requested vs. served fingerprint
+	// sets, so the operator can see exactly what to fix.
+	var mm *stormtune.RemoteMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("err = %T, want *RemoteMismatchError", err)
+	}
+	if mm.WantFingerprint != stormtune.TopologyFingerprint(seedB) {
+		t.Fatalf("WantFingerprint = %s, want %s", mm.WantFingerprint, stormtune.TopologyFingerprint(seedB))
+	}
+	if len(mm.ServedFingerprints) != 1 || mm.ServedFingerprints[0] != stormtune.TopologyFingerprint(seedA) {
+		t.Fatalf("ServedFingerprints = %v, want the worker's set", mm.ServedFingerprints)
 	}
 }
 
@@ -222,19 +284,23 @@ func TestRemoteMismatchRejected(t *testing.T) {
 // `stormtune serve` process — the CI job starts one and points
 // STORMTUNE_REMOTE_URL at it (skipped when the variable is unset). The
 // server must run `-topology small -seed 1`; with `-flaky N` the test
-// additionally asserts the retry path fired.
+// additionally asserts the retry path fired, and STORMTUNE_REMOTE_TOKEN
+// supplies the bearer token for workers started with `-token`.
 func TestRemoteServeProcessRoundTrip(t *testing.T) {
 	url := os.Getenv("STORMTUNE_REMOTE_URL")
 	if url == "" {
 		t.Skip("STORMTUNE_REMOTE_URL not set; start `stormtune serve` and point it here")
 	}
 	top := stormtune.BuildSynthetic("small", stormtune.Condition{}, 1)
-	bk := stormtune.NewRemoteBackend(url, stormtune.RemoteBackendOptions{TransportRetries: 2})
+	bk := stormtune.NewRemoteBackend(url, stormtune.RemoteBackendOptions{
+		Auth:      stormtune.RemoteCredentials{Token: os.Getenv("STORMTUNE_REMOTE_TOKEN")},
+		Transport: stormtune.RemoteTransport{Retries: 2},
+	})
 	info, err := stormtune.CheckRemoteBackend(context.Background(), bk, top, stormtune.SinkTuples)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("live server at %s serves %q (%d nodes)", url, info.Topology, info.Nodes)
+	t.Logf("live server at %s serves %d topolog(ies), %v", url, len(info.Topologies), info.Fingerprints())
 
 	var mu sync.Mutex
 	var failed int

@@ -66,19 +66,37 @@ type (
 // migrate by wrapping: NewTuner(t, AsBackend(ev), opts).
 func AsBackend(ev Evaluator) Backend { return core.AsBackend(ev) }
 
-// BackendPool fans one session's concurrent trials out over a fixed
-// set of member backends; its Stats method exposes per-worker in-flight
-// counts for the dashboard's workers table.
+// BackendPool fans concurrent trials out over a set of member
+// backends, routing each trial to a member serving its topology
+// fingerprint and shedding to less-loaded workers on admission
+// refusals; its Stats method exposes per-worker counters (in-flight,
+// completed, errors, shed, health) for the dashboard's workers table.
 type BackendPool = core.PoolBackend
+
+// BackendPoolOptions tune a pool's health tracking (eviction after
+// consecutive transport failures, background re-probing of evicted
+// members). The zero value is ready to use.
+type BackendPoolOptions = core.PoolOptions
 
 // NewBackendPool distributes concurrent trials over member backends —
 // e.g. one NewRemoteBackend per worker process — so a single session
-// driving RunAsync(ctx, q) saturates up to q workers. Each Run borrows
-// a free member for the duration of the evaluation; Stats samples the
-// members' live counters (wire it into DashboardOptions.PoolStats to
-// watch the pool).
+// driving RunAsync(ctx, q) saturates up to q workers, and a fleet of
+// heterogeneous sessions shares one pool, each trial routed to a
+// worker serving its topology (run CheckRemoteBackend per member
+// first: it primes the routing cache). Each Run borrows a free
+// eligible member for the duration of the evaluation; a worker
+// refusing at capacity costs nothing — the trial is shed to the next
+// eligible member. Members can join and leave the live pool (Add,
+// Remove), unreachable members are evicted and re-probed, and Stats
+// samples the members' live counters (wire it into
+// DashboardOptions.PoolStats to watch the pool).
 func NewBackendPool(members ...Backend) (*BackendPool, error) {
 	return core.NewPoolBackend(members...)
+}
+
+// NewBackendPoolWith is NewBackendPool with explicit health options.
+func NewBackendPoolWith(opts BackendPoolOptions, members ...Backend) (*BackendPool, error) {
+	return core.NewPoolBackendWith(opts, members...)
 }
 
 // TunerOptions configure a tuning session.
@@ -189,7 +207,10 @@ type Tuner struct {
 	opts     TunerOptions
 	topoName string
 	topoN    int
-	custom   bool
+	// fp is the tuned topology's structural fingerprint in hex — the
+	// routing key stamped onto every trial.
+	fp     string
+	custom bool
 	// bound is the cluster's concurrent-trial capacity for the template
 	// configuration; RunAsync clamps its q to it.
 	bound int
@@ -273,12 +294,14 @@ func NewTuner(t *Topology, b Backend, opts TunerOptions) (*Tuner, error) {
 		Retry:          opts.Retry,
 		TrialTimeout:   opts.TrialTimeout,
 		Observer:       observer,
+		Fingerprint:    TopologyFingerprint(t),
 	})
 	return &Tuner{
 		sess:       sess,
 		opts:       opts,
 		topoName:   t.Name,
 		topoN:      t.N(),
+		fp:         TopologyFingerprint(t),
 		custom:     custom,
 		bound:      spec.MaxConcurrentTrials(template.TotalTasks()),
 		arec:       arec,
@@ -329,6 +352,11 @@ func (tn *Tuner) HyperState() *HyperState {
 // configuration the session's cluster can host — the bound RunAsync
 // clamps its q to.
 func (tn *Tuner) MaxParallel() int { return tn.bound }
+
+// Fingerprint returns the tuned topology's structural fingerprint in
+// hex — the routing key every proposed trial carries, matched against
+// the served set of multi-tenant workers.
+func (tn *Tuner) Fingerprint() string { return tn.fp }
 
 // ArchiveKey returns the key this session records under, empty when
 // TunerOptions.Archive was not set.
@@ -610,6 +638,7 @@ func ResumeTuner(st *TunerState, t *Topology, b Backend, opts TunerOptions) (*Tu
 		Retry:          resolved.Retry,
 		TrialTimeout:   resolved.TrialTimeout,
 		Observer:       observer,
+		Fingerprint:    TopologyFingerprint(t),
 	})
 	if err != nil {
 		return nil, err
@@ -641,6 +670,7 @@ func ResumeTuner(st *TunerState, t *Topology, b Backend, opts TunerOptions) (*Tu
 		opts:       resolved,
 		topoName:   st.Topology,
 		topoN:      st.Nodes,
+		fp:         TopologyFingerprint(t),
 		custom:     st.Custom,
 		bound:      st.Cluster.MaxConcurrentTrials(st.Template.TotalTasks()),
 		arec:       arec,

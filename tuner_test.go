@@ -109,11 +109,19 @@ func TestTunerRunAsyncMatchesRunAtQ1(t *testing.T) {
 	}
 	seq, async := run(false), run(true)
 	recordsEqual(t, seq.Records, async.Records)
-	// And the legacy wrapper still agrees with the session drivers.
-	legacy := Tune(quietEval(top, SmallCluster()),
-		NewBO(top, SmallCluster(), DefaultConfig(top, 1), BOOptions{Seed: 5, Opt: fastTunerOpts(5, 12).boOptions().Opt}),
-		12, 0)
-	recordsEqual(t, seq.Records, legacy.Records)
+	// And a second Tuner built the same way — strategy injected rather
+	// than built-in — still agrees with the session drivers.
+	strat := NewBO(top, SmallCluster(), DefaultConfig(top, 1), BOOptions{Seed: 5, Opt: fastTunerOpts(5, 12).boOptions().Opt})
+	tn, err := NewTuner(top, AsBackend(quietEval(top, SmallCluster())),
+		TunerOptions{Steps: 12, Strategy: strat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := tn.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordsEqual(t, seq.Records, injected.Records)
 }
 
 func ptrCluster(s ClusterSpec) *ClusterSpec { return &s }
